@@ -1,0 +1,58 @@
+//! Criterion bench regenerating **Figure 9**: for every paper kernel,
+//! measures the simulated MMX-only and MMX+SPU runs (the benched quantity
+//! is simulator wall time; the *simulated* cycle counts — the figure's
+//! data — print once at startup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subword_compile::lift_permutes;
+use subword_kernels::suite::paper_suite;
+use subword_kernels::KernelBuild;
+use subword_sim::{Machine, MachineConfig};
+use subword_spu::SHAPE_A;
+
+fn run_build(build: &KernelBuild, cfg: &MachineConfig) -> u64 {
+    let mut m = Machine::new(cfg.clone());
+    for (a, bytes) in &build.setup.mem_init {
+        m.mem.write_bytes(*a, bytes).unwrap();
+    }
+    m.run(&build.program).unwrap().cycles
+}
+
+fn bench_figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9");
+    group.sample_size(10);
+    for e in paper_suite() {
+        let blocks = e.blocks_small;
+        let base = e.kernel.build(blocks);
+        let lifted = lift_permutes(&base.program, &SHAPE_A).unwrap();
+        let spu = KernelBuild {
+            program: lifted.program,
+            setup: base.setup.clone(),
+            expected: base.expected.clone(),
+        };
+        let mmx_cycles = run_build(&base, &MachineConfig::mmx_only());
+        let spu_cycles = run_build(&spu, &MachineConfig::with_spu(SHAPE_A));
+        println!(
+            "figure9/{}: {} blocks: {} MMX cycles vs {} MMX+SPU cycles ({:+.1}%)",
+            e.kernel.name(),
+            blocks,
+            mmx_cycles,
+            spu_cycles,
+            100.0 * (spu_cycles as f64 / mmx_cycles as f64 - 1.0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mmx", e.kernel.name()),
+            &base,
+            |b, build| b.iter(|| run_build(build, &MachineConfig::mmx_only())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mmx+spu", e.kernel.name()),
+            &spu,
+            |b, build| b.iter(|| run_build(build, &MachineConfig::with_spu(SHAPE_A))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure9);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the substrates: packed-arithmetic evaluation,
+//! crossbar routing, controller stepping, simulator issue rate, and the
+//! lifting pass itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use subword_compile::lift_permutes;
+use subword_isa::asm::assemble;
+use subword_isa::op::MmxOp;
+use subword_isa::semantics;
+use subword_kernels::suite::paper_suite;
+use subword_sim::{Machine, MachineConfig};
+use subword_spu::controller::SpuController;
+use subword_spu::{ByteRoute, SpuProgram, SHAPE_A, SHAPE_D};
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics");
+    g.throughput(Throughput::Elements(MmxOp::ALL.len() as u64));
+    g.bench_function("eval-all-ops", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for op in MmxOp::ALL {
+                acc ^= semantics::eval(op, 0x0123_4567_89ab_cdef, 0x0f0f_0f0f_0f0f_0f0f);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let file: [u8; 64] = std::array::from_fn(|i| i as u8);
+    let route = ByteRoute([63, 0, 17, 42, 5, 33, 8, 1]);
+    c.bench_function("crossbar/apply", |b| b.iter(|| route.apply(&file)));
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let route = ByteRoute::identity(subword_isa::reg::MmReg::MM0);
+    let prog = SpuProgram::single_loop(
+        "bench",
+        &[(Some(route), None), (None, None), (None, None)],
+        1_000_000,
+    );
+    c.bench_function("controller/step", |b| {
+        let mut ctl = SpuController::new(SHAPE_D);
+        ctl.load_program(0, &prog).unwrap();
+        ctl.activate();
+        b.iter(|| {
+            if !ctl.is_active() {
+                ctl.activate();
+            }
+            ctl.on_issue()
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let p = assemble(
+        "issue",
+        "mov r0, 1000\nl:\n paddw mm0, mm1\n psubw mm2, mm3\n pxor mm4, mm5\n sub r0, 1\n jnz l\n halt\n",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("issue-rate", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::mmx_only());
+            m.run(&p).unwrap().instructions
+        })
+    });
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    let build = paper_suite()[7].kernel.build(1); // transpose
+    g.bench_function("lift-transpose", |b| {
+        b.iter(|| lift_permutes(&build.program, &SHAPE_A).unwrap().report.removed_static)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_semantics,
+    bench_crossbar,
+    bench_controller,
+    bench_simulator,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench regenerating the paper's **Tables 1–3** data paths:
+//! the hardware models behind Table 1 and the statistic extraction behind
+//! Tables 2 and 3 (values print once; the benched quantity is the cost of
+//! regenerating each table's rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subword_compile::lift_permutes;
+use subword_hw::control_memory::ControlMemoryModel;
+use subword_hw::crossbar::{table1_shapes, CrossbarModel};
+use subword_hw::die::DieOverhead;
+use subword_hw::technology::Technology;
+use subword_kernels::suite::paper_suite;
+use subword_kernels::KernelBuild;
+use subword_sim::{Machine, MachineConfig};
+use subword_spu::SHAPE_A;
+
+fn bench_table1(c: &mut Criterion) {
+    let xbar = CrossbarModel::default();
+    let cmem = ControlMemoryModel::default();
+    for s in table1_shapes() {
+        println!(
+            "table1/{}: {:.2} mm2, {:.2} ns, ctrl {:.2} mm2 (paper {:.2}/{:.2}/{:.2})",
+            s.name,
+            xbar.area_mm2(&s),
+            xbar.delay_ns(&s),
+            cmem.area_mm2(&s, 1),
+            CrossbarModel::paper_point(&s).unwrap().area_mm2,
+            CrossbarModel::paper_point(&s).unwrap().delay_ns,
+            CrossbarModel::paper_point(&s).unwrap().control_mem_mm2,
+        );
+    }
+    c.bench_function("table1/models", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in table1_shapes() {
+                acc += xbar.area_mm2(&s) + xbar.delay_ns(&s) + cmem.area_mm2(&s, 1);
+                acc += DieOverhead::evaluate(&s, 1, &Technology::PIII_018).die_fraction;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_tables23(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables23");
+    group.sample_size(10);
+    // One representative kernel per table keeps `cargo bench` fast; the
+    // full sweep lives in the harness binaries.
+    let e = &paper_suite()[5]; // DCT
+    let base = e.kernel.build(e.blocks_small);
+    let lifted = lift_permutes(&base.program, &SHAPE_A).unwrap();
+    let spu = KernelBuild {
+        program: lifted.program,
+        setup: base.setup.clone(),
+        expected: base.expected.clone(),
+    };
+    group.bench_function("table2/branch-stats-dct", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::mmx_only());
+            for (a, bytes) in &base.setup.mem_init {
+                m.mem.write_bytes(*a, bytes).unwrap();
+            }
+            let s = m.run(&base.program).unwrap();
+            (s.branches, s.mispredicts)
+        })
+    });
+    group.bench_function("table3/offload-dct", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::with_spu(SHAPE_A));
+            for (a, bytes) in &spu.setup.mem_init {
+                m.mem.write_bytes(*a, bytes).unwrap();
+            }
+            let s = m.run(&spu.program).unwrap();
+            s.spu_routed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_tables23);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs every harness in sequence — the full evaluation reproduction.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["table1", "figure9", "table2", "table3", "ablation_shapes", "energy", "sensitivity"]
+    {
+        println!("\n==================== {bin} ====================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

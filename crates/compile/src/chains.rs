@@ -1,0 +1,483 @@
+//! Byte copy-chain resolution through deleted realignment instructions.
+//!
+//! The core question the SPU compiler must answer: *if permutation
+//! instruction P is deleted, which file byte should a consumer's operand
+//! byte be routed from, and is that byte still intact at the consumer?*
+//!
+//! [`resolve_byte`] walks backwards through a loop body (circularly, at
+//! most one full wrap, so chains must settle within one iteration),
+//! stepping *through* deleted candidates by applying their byte
+//! permutation, and stopping at the first kept writer — whose destination
+//! register byte is then the route source. A final clobber check rejects
+//! chains whose resolved source is overwritten between the last hop and
+//! the consumer.
+
+use std::collections::BTreeSet;
+use subword_isa::instr::{Instr, MmxOperand, RegRef};
+use subword_isa::lane::{bytes_of, from_bytes};
+use subword_isa::op::MmxOp;
+use subword_isa::reg::MmReg;
+use subword_isa::semantics;
+
+/// True for instructions the pass may delete: pure byte-movement
+/// realignments with register sources (unpacks and `movq mm, mm`).
+///
+/// Packs are excluded (saturation is arithmetic), and 64-bit shifts are
+/// excluded because their zero-fill bytes have no routable source.
+pub fn is_liftable(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Mmx { op, src: MmxOperand::Reg(_), .. }
+            if op.is_unpack() || matches!(op, MmxOp::Movq)
+    )
+}
+
+/// Which of the two operand positions a permuted byte came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PermSrc {
+    /// Operand A: the destination register's pre-instruction value.
+    A(u8),
+    /// Operand B: the source register.
+    B(u8),
+}
+
+/// Byte permutation of a liftable instruction: `perm_byte(i, o)` = where
+/// output byte `o` comes from.
+///
+/// Computed by evaluating the instruction's own semantics on marker bytes,
+/// so it can never drift from the executable definition.
+pub fn perm_byte(i: &Instr, out_byte: usize) -> PermSrc {
+    debug_assert!(is_liftable(i));
+    let Instr::Mmx { op, .. } = i else { unreachable!() };
+    let a = from_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+    let b = from_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+    let out = bytes_of(semantics::eval(*op, a, b));
+    let v = out[out_byte];
+    if v < 8 {
+        PermSrc::A(v)
+    } else {
+        PermSrc::B(v - 8)
+    }
+}
+
+/// The MMX register an instruction writes, if any.
+pub fn mm_write(i: &Instr) -> Option<MmReg> {
+    match i.writes() {
+        Some(RegRef::Mm(r)) => Some(r),
+        _ => None,
+    }
+}
+
+/// Why a chain failed to resolve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainFail {
+    /// The chain did not settle within one loop iteration.
+    MultiIterationChain {
+        /// The first deleted candidate the chain passed through.
+        first_hop: usize,
+    },
+    /// A kept instruction overwrites the resolved source before the
+    /// consumer reads it.
+    Clobbered {
+        /// The first deleted candidate the chain passed through.
+        first_hop: usize,
+        /// Body position of the clobbering writer.
+        by: usize,
+    },
+    /// The chain hops through a deleted candidate positioned *after* the
+    /// consumer (a loop-carried def). A static route would be wrong in
+    /// the first iteration, where the original program still reads the
+    /// pre-loop register value (a compiler could peel one iteration to
+    /// recover these; this pass keeps the candidate instead).
+    WrappedHop {
+        /// The wrapped candidate.
+        hop: usize,
+    },
+}
+
+impl ChainFail {
+    /// The candidate to un-delete when refining.
+    pub fn blame(&self) -> usize {
+        match self {
+            ChainFail::MultiIterationChain { first_hop } => *first_hop,
+            ChainFail::Clobbered { first_hop, .. } => *first_hop,
+            ChainFail::WrappedHop { hop } => *hop,
+        }
+    }
+}
+
+/// A resolved operand byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedByte {
+    /// File byte (0..64) to route from.
+    pub src: u8,
+    /// First deleted candidate on the chain, if the chain had any hops
+    /// (None ⇒ the byte is already in place; identity routing suffices).
+    pub first_hop: Option<usize>,
+}
+
+/// Resolve the route source for `(reg, byte)` as read by the instruction
+/// at body position `pos`, treating positions in `removal` as deleted.
+///
+/// `body` is the loop body (back edge included). The walk is circular —
+/// reads with no writer earlier in the iteration take the value left by
+/// the previous iteration (or the pre-loop value on the first iteration,
+/// which the original program read equally).
+pub fn resolve_byte(
+    body: &[Instr],
+    removal: &BTreeSet<usize>,
+    pos: usize,
+    reg: MmReg,
+    byte: u8,
+    ) -> Result<ResolvedByte, ChainFail> {
+    let len = body.len();
+    let mut cur_reg = reg;
+    let mut cur_byte = byte;
+    let mut first_hop: Option<usize> = None;
+    // Distance (backwards from `pos`) after which `cur_reg` last changed;
+    // the clobber check below only needs to re-scan closer positions.
+    let mut last_change_d = 0usize;
+    // Distance of the most recent hop of *any* kind: positions closer
+    // than this were scanned before the hop moved the time cursor, so on
+    // exhaustion they must be re-examined for deleted writers (the hop
+    // instruction itself included — a self-referential permute is a
+    // recurrence no static route can express).
+    let mut last_hop_d = 0usize;
+    let mut d = 1usize;
+    while d <= len {
+        let q = (pos + len - d) % len;
+        let ins = &body[q];
+        if mm_write(ins) == Some(cur_reg) {
+            if removal.contains(&q) {
+                // Hops must execute in the same iteration as the consumer
+                // (q strictly before pos in body order). A wrapped hop's
+                // permutation has not happened yet in iteration 1.
+                if d > pos {
+                    return Err(ChainFail::WrappedHop { hop: q });
+                }
+                first_hop.get_or_insert(q);
+                last_hop_d = d;
+                match perm_byte(ins, cur_byte as usize) {
+                    PermSrc::A(b) => {
+                        // Reads its own destination's prior value: same
+                        // register, earlier def.
+                        cur_byte = b;
+                    }
+                    PermSrc::B(b) => {
+                        let Instr::Mmx { src: MmxOperand::Reg(s), .. } = ins else {
+                            unreachable!()
+                        };
+                        if *s != cur_reg {
+                            cur_reg = *s;
+                            last_change_d = d;
+                        }
+                        cur_byte = b;
+                    }
+                }
+                d += 1;
+                continue;
+            }
+            // Kept writer: that value sits in `cur_reg` at the consumer
+            // unless something closer to the consumer (scanned while we
+            // were tracking a different register) also writes `cur_reg`.
+            return finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d);
+        }
+        d += 1;
+    }
+    // Scan exhausted without a def. Positions at distances 1..=last_hop_d
+    // were passed before the last hop moved the time cursor, so for the
+    // currently tracked register the real def may hide there — in the
+    // *previous* iteration's tail:
+    //
+    // * a **deleted** writer there (including a self-referential hop
+    //   instruction) means the def chains across iterations — reject;
+    // * a **kept** writer there overwrites the routed source before the
+    //   consumer — `finish`'s clobber scan rejects it.
+    //
+    // With no writers anywhere, `cur_reg` is genuinely loop-invariant.
+    if last_hop_d > 0 {
+        let deleted_writer_exists = (1..=last_hop_d).any(|d| {
+            let q = (pos + len - d) % len;
+            removal.contains(&q) && mm_write(&body[q]) == Some(cur_reg)
+        });
+        if deleted_writer_exists {
+            return Err(ChainFail::MultiIterationChain {
+                first_hop: first_hop.expect("hop distance implies a hop"),
+            });
+        }
+    }
+    finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d)
+}
+
+fn finish(
+    body: &[Instr],
+    removal: &BTreeSet<usize>,
+    pos: usize,
+    reg: MmReg,
+    byte: u8,
+    first_hop: Option<usize>,
+    last_change_d: usize,
+) -> Result<ResolvedByte, ChainFail> {
+    let len = body.len();
+    // Positions between the consumer and the point where `reg` became the
+    // tracked register were scanned while tracking a different register;
+    // a kept write to `reg` there clobbers the route.
+    for d in 1..last_change_d {
+        let q = (pos + len - d) % len;
+        if !removal.contains(&q) && mm_write(&body[q]) == Some(reg) {
+            return Err(ChainFail::Clobbered {
+                first_hop: first_hop.expect("clobber implies at least one hop"),
+                by: q,
+            });
+        }
+    }
+    Ok(ResolvedByte { src: reg.file_byte(byte as usize) as u8, first_hop })
+}
+
+/// Byte-read masks for the two operand positions of a routable
+/// instruction: which of the 8 operand bytes the instruction actually
+/// consumes (`movd` forms only read the low dword).
+pub fn operand_masks(i: &Instr) -> (Option<[bool; 8]>, Option<[bool; 8]>) {
+    const ALL: [bool; 8] = [true; 8];
+    const LOW4: [bool; 8] = [true, true, true, true, false, false, false, false];
+    match i {
+        Instr::Mmx { op, src, .. } => {
+            let a = if matches!(op, MmxOp::Movq) { None } else { Some(ALL) };
+            let b = match src {
+                MmxOperand::Reg(_) => Some(ALL),
+                _ => None,
+            };
+            (a, b)
+        }
+        Instr::MovqStore { .. } => (Some(ALL), None),
+        Instr::MovdStore { .. } | Instr::MovdFromMm { .. } => (Some(LOW4), None),
+        _ => (None, None),
+    }
+}
+
+/// The nominal register behind operand A / operand B of a routable
+/// instruction.
+pub fn operand_regs(i: &Instr) -> (Option<MmReg>, Option<MmReg>) {
+    match i {
+        Instr::Mmx { dst, src, .. } => {
+            let b = match src {
+                MmxOperand::Reg(r) => Some(*r),
+                _ => None,
+            };
+            (Some(*dst), b)
+        }
+        Instr::MovqStore { src, .. }
+        | Instr::MovdStore { src, .. }
+        | Instr::MovdFromMm { src, .. } => (Some(*src), None),
+        _ => (None, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_isa::reg::MmReg::*;
+
+    fn unpack_lwd(d: MmReg, s: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Punpcklwd, dst: d, src: MmxOperand::Reg(s) }
+    }
+
+    fn unpack_hwd(d: MmReg, s: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Punpckhwd, dst: d, src: MmxOperand::Reg(s) }
+    }
+
+    fn movq(d: MmReg, s: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Movq, dst: d, src: MmxOperand::Reg(s) }
+    }
+
+    fn padd(d: MmReg, s: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Paddw, dst: d, src: MmxOperand::Reg(s) }
+    }
+
+    #[test]
+    fn liftable_set() {
+        assert!(is_liftable(&unpack_lwd(MM0, MM1)));
+        assert!(is_liftable(&movq(MM0, MM1)));
+        assert!(!is_liftable(&padd(MM0, MM1)));
+        assert!(!is_liftable(&Instr::Mmx {
+            op: MmxOp::Packssdw,
+            dst: MM0,
+            src: MmxOperand::Reg(MM1)
+        }));
+        assert!(!is_liftable(&Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) }));
+        // Memory-source unpack is not liftable.
+        assert!(!is_liftable(&Instr::Mmx {
+            op: MmxOp::Punpcklwd,
+            dst: MM0,
+            src: MmxOperand::Mem(subword_isa::Mem::abs(0))
+        }));
+    }
+
+    #[test]
+    fn perm_byte_matches_unpack_semantics() {
+        let i = unpack_lwd(MM0, MM1);
+        // punpcklwd output bytes: A0 A1 B0 B1 A2 A3 B2 B3.
+        assert_eq!(perm_byte(&i, 0), PermSrc::A(0));
+        assert_eq!(perm_byte(&i, 1), PermSrc::A(1));
+        assert_eq!(perm_byte(&i, 2), PermSrc::B(0));
+        assert_eq!(perm_byte(&i, 3), PermSrc::B(1));
+        assert_eq!(perm_byte(&i, 7), PermSrc::B(3));
+        let h = unpack_hwd(MM0, MM1);
+        assert_eq!(perm_byte(&h, 0), PermSrc::A(4));
+        assert_eq!(perm_byte(&h, 2), PermSrc::B(4));
+        let m = movq(MM0, MM1);
+        for o in 0..8 {
+            assert_eq!(perm_byte(&m, o), PermSrc::B(o as u8));
+        }
+    }
+
+    #[test]
+    fn simple_chain_through_one_unpack() {
+        // body: [load mm2 (kept); unpack mm2<-mm2,mm1 (deleted);
+        //        padd mm3, mm2; backedge]
+        let ld2 = Instr::MovqLoad { dst: MM2, addr: subword_isa::Mem::abs(0) };
+        let body = vec![ld2, unpack_lwd(MM2, MM1), padd(MM3, MM2), Instr::Nop];
+        let removal = BTreeSet::from([1usize]);
+        // padd reads mm2 byte 2 -> through unpack -> B(0) = mm1 byte 0.
+        let r = resolve_byte(&body, &removal, 2, MM2, 2).unwrap();
+        assert_eq!(r.src, MM1.file_byte(0) as u8);
+        assert_eq!(r.first_hop, Some(1));
+        // byte 0 -> A(0) = mm2's pre-unpack value = the kept load.
+        let r = resolve_byte(&body, &removal, 2, MM2, 0).unwrap();
+        assert_eq!(r.src, MM2.file_byte(0) as u8);
+        assert_eq!(r.first_hop, Some(1));
+    }
+
+    /// A self-overwriting unpack (its A-operand is its own previous
+    /// output) is a recurrence: no static route expresses it, so the
+    /// A-side bytes must be rejected.
+    #[test]
+    fn self_recurrence_rejected() {
+        let body = vec![unpack_lwd(MM2, MM1), padd(MM3, MM2), Instr::Nop];
+        let removal = BTreeSet::from([0usize]);
+        // B-side byte: fine (mm1 is loop-invariant).
+        let r = resolve_byte(&body, &removal, 1, MM2, 2).unwrap();
+        assert_eq!(r.src, MM1.file_byte(0) as u8);
+        // A-side byte: the def is the unpack's own previous-iteration
+        // output — reject.
+        let e = resolve_byte(&body, &removal, 1, MM2, 0).unwrap_err();
+        assert!(matches!(e, ChainFail::MultiIterationChain { first_hop: 0 }));
+    }
+
+    #[test]
+    fn chain_through_two_unpacks() {
+        // Transpose-style chain: unpack into mm2, unpack mm2 into itself.
+        // body: u1: movq mm2 <- mm0 (del), u2: punpcklwd mm2 <- mm1 (del),
+        //       consumer padd mm4, mm2.
+        let body = vec![movq(MM2, MM0), unpack_lwd(MM2, MM1), padd(MM4, MM2), Instr::Nop];
+        let removal = BTreeSet::from([0usize, 1usize]);
+        // mm2 byte 0 <- u2 A(0) <- u1 B(0) = mm0 byte 0.
+        let r = resolve_byte(&body, &removal, 2, MM2, 0).unwrap();
+        assert_eq!(r.src, MM0.file_byte(0) as u8);
+        // mm2 byte 2 <- u2 B(0) = mm1 byte 0.
+        let r = resolve_byte(&body, &removal, 2, MM2, 2).unwrap();
+        assert_eq!(r.src, MM1.file_byte(0) as u8);
+    }
+
+    #[test]
+    fn clobber_between_hop_and_consumer_fails() {
+        // l: load mm2 (kept) at 0
+        // u: punpcklwd mm2 <- mm1 (deleted) at 1
+        // w: paddw mm1, mm3 (kept) at 2  -- clobbers mm1!
+        // c: paddw mm4, mm2 at 3
+        let ld2 = Instr::MovqLoad { dst: MM2, addr: subword_isa::Mem::abs(0) };
+        let body =
+            vec![ld2, unpack_lwd(MM2, MM1), padd(MM1, MM3), padd(MM4, MM2), Instr::Nop];
+        let removal = BTreeSet::from([1usize]);
+        // Byte 2 routes from mm1, which position 2 rewrites before the
+        // consumer: chain must fail and blame the unpack.
+        let e = resolve_byte(&body, &removal, 3, MM2, 2).unwrap_err();
+        assert_eq!(e, ChainFail::Clobbered { first_hop: 1, by: 2 });
+        assert_eq!(e.blame(), 1);
+        // Byte 0 routes from mm2 itself (operand A path, def = the kept
+        // load): no clobber.
+        assert!(resolve_byte(&body, &removal, 3, MM2, 0).is_ok());
+    }
+
+    #[test]
+    fn kept_writer_terminates_chain() {
+        // load writes mm2 (kept, opaque); consumer reads mm2 directly.
+        let ld = Instr::MovqLoad { dst: MM2, addr: subword_isa::Mem::abs(0) };
+        let body = vec![ld, padd(MM4, MM2), Instr::Nop];
+        let removal = BTreeSet::new();
+        let r = resolve_byte(&body, &removal, 1, MM2, 5).unwrap();
+        assert_eq!(r.src, MM2.file_byte(5) as u8);
+        assert_eq!(r.first_hop, None);
+    }
+
+    #[test]
+    fn loop_carried_hop_is_rejected() {
+        // Consumer at 0 reads mm2 written by a deleted unpack at 2 in the
+        // *previous* iteration. In iteration 1 the unpack has not run, so
+        // the original reads the pre-loop mm2 while a static route would
+        // deliver the permuted gather: unsound, must be rejected.
+        let body = vec![padd(MM4, MM2), Instr::Nop, unpack_lwd(MM2, MM1)];
+        let removal = BTreeSet::from([2usize]);
+        let e = resolve_byte(&body, &removal, 0, MM2, 2).unwrap_err();
+        assert_eq!(e, ChainFail::WrappedHop { hop: 2 });
+        assert_eq!(e.blame(), 2);
+        // A *kept* wrapped writer terminates the chain harmlessly (no
+        // routing involved).
+        let removal = BTreeSet::new();
+        let r = resolve_byte(&body, &removal, 0, MM2, 2).unwrap();
+        assert_eq!(r.src, MM2.file_byte(2) as u8);
+        assert_eq!(r.first_hop, None);
+    }
+
+    /// Regression (found by the property fuzzer): a consumer at the loop
+    /// top whose chain passes through a deleted copy *and* whose final
+    /// source is written later in the body needs a value from two
+    /// iterations back — the resolver must reject it, not declare the
+    /// source loop-invariant.
+    #[test]
+    fn two_iteration_chain_rejected() {
+        // body: store(mm4) | mm4 <- mm0 (del) | punpcklbw mm0, mm0 (del)
+        let st = Instr::MovqStore { addr: subword_isa::Mem::abs(0), src: MM4 };
+        let body = vec![
+            st,
+            movq(MM4, MM0),
+            Instr::Mmx { op: MmxOp::Punpcklbw, dst: MM0, src: MmxOperand::Reg(MM0) },
+            Instr::Nop,
+        ];
+        let removal = BTreeSet::from([1usize, 2usize]);
+        // The store's mm4 def (the copy) sits *after* the store in body
+        // order: any chain through it is a wrapped hop.
+        let e = resolve_byte(&body, &removal, 0, MM4, 0).unwrap_err();
+        assert!(matches!(e, ChainFail::WrappedHop { hop: 1 }));
+        // Same with the unpack kept.
+        let removal = BTreeSet::from([1usize]);
+        let e = resolve_byte(&body, &removal, 0, MM4, 0).unwrap_err();
+        assert!(matches!(e, ChainFail::WrappedHop { hop: 1 }));
+        // Moving the consumer *after* the copy makes the hop
+        // same-iteration; with the unpack deleted too, the chain through
+        // both resolves to the loop-invariant sources.
+        let body2 = vec![
+            body[1], // copy mm4 <- mm0
+            body[0], // store mm4
+            Instr::Nop,
+            Instr::Nop,
+        ];
+        let removal = BTreeSet::from([0usize]);
+        let r = resolve_byte(&body2, &removal, 1, MM4, 0).unwrap();
+        assert_eq!(r.src, MM0.file_byte(0) as u8);
+        assert_eq!(r.first_hop, Some(0));
+    }
+
+    #[test]
+    fn operand_masks_and_regs() {
+        let i = padd(MM3, MM5);
+        assert_eq!(operand_masks(&i), (Some([true; 8]), Some([true; 8])));
+        assert_eq!(operand_regs(&i), (Some(MM3), Some(MM5)));
+        let m = movq(MM3, MM5);
+        assert_eq!(operand_masks(&m).0, None);
+        let st = Instr::MovqStore { addr: subword_isa::Mem::abs(0), src: MM6 };
+        assert_eq!(operand_regs(&st), (Some(MM6), None));
+        let shift = Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(8) };
+        assert_eq!(operand_masks(&shift), (Some([true; 8]), None));
+    }
+}

@@ -1,0 +1,39 @@
+//! # subword-compile
+//!
+//! Automatic SPU code generation — the paper's §4 sketch made concrete:
+//! *"the generation of the code for the SPU is systematic and can be
+//! automated"*.
+//!
+//! Given a program whose loops carry static trip counts, the pass
+//!
+//! 1. finds innermost loops with straight-line bodies ([`chains`] does the
+//!    structural checks);
+//! 2. identifies **liftable realignment instructions** — unpacks and
+//!    register moves whose only effect is to rearrange bytes;
+//! 3. resolves, for every remaining instruction's operand bytes, the
+//!    *copy chain* back through the deleted realignments to a stable
+//!    source byte in the register file ([`chains::resolve_byte`]),
+//!    rejecting chains that a kept instruction would clobber;
+//! 4. iteratively un-deletes candidates whose consumers' routes are not
+//!    expressible in the target crossbar shape, until a fixed point;
+//! 5. emits the rewritten program (deleted permutes gone, an MMIO setup
+//!    prologue, and a GO store immediately ahead of each transformed
+//!    loop) plus one [`subword_spu::SpuProgram`] per loop, assigned to
+//!    SPU contexts ([`rewrite`]);
+//! 6. reports the static accounting that, combined with a simulation
+//!    diff, reproduces the paper's Table 3 ([`pass::CompileReport`]).
+//!
+//! [`verify::differential`] re-runs both variants on the simulator and
+//! compares the declared output ranges byte for byte.
+
+pub mod annotate;
+pub mod chains;
+pub mod liveness;
+pub mod pass;
+pub mod rewrite;
+pub mod verify;
+
+pub use annotate::annotate;
+
+pub use pass::{lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, TransformResult};
+pub use verify::{differential, TestSetup};

@@ -1,0 +1,463 @@
+//! The lifting pass: candidate selection, iterative refinement, route
+//! construction, and reporting.
+
+use crate::chains::{
+    is_liftable, mm_write, operand_masks, operand_regs, resolve_byte, ResolvedByte,
+};
+use crate::liveness::{live_on_loop_exit, mm_live_in, MmMask};
+use crate::rewrite;
+use std::collections::BTreeSet;
+use std::fmt;
+use subword_isa::instr::Instr;
+use subword_isa::program::{LoopInfo, Program};
+use subword_spu::crossbar::CrossbarShape;
+use subword_spu::{ByteRoute, SpuProgram};
+
+/// Maximum SPU contexts a single program may use.
+pub const MAX_CONTEXTS: usize = 4;
+
+/// Maximum programmable states (state 127 is idle).
+const MAX_STATES: usize = 126;
+
+/// Errors that abort the whole transformation (per-loop problems are
+/// reported per loop via [`LoopStatus`] instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input program failed validation.
+    BadProgram(String),
+    /// The rewritten program failed validation (internal error).
+    RewriteFailed(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadProgram(e) => write!(f, "input program invalid: {e}"),
+            CompileError::RewriteFailed(e) => write!(f, "rewrite produced invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Why a loop was not transformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoopStatus {
+    /// Transformed; permutes removed.
+    Transformed,
+    /// Skipped: no liftable realignment instructions in the body.
+    NoCandidates,
+    /// Skipped: the body contains internal control flow.
+    NotStraightLine,
+    /// Skipped: no static trip count.
+    DynamicTripCount,
+    /// Skipped: body longer than the controller's state budget.
+    TooManyStates,
+    /// Skipped: all SPU contexts already in use.
+    OutOfContexts,
+    /// Skipped: another branch targets the loop head, so a GO store
+    /// cannot be placed ahead of it safely.
+    HeadHasOtherPredecessors,
+    /// Skipped: the back edge is an unconditional jump — the loop has no
+    /// fall-through exit edge for the liveness analysis.
+    UnconditionalBackEdge,
+    /// Transformation found nothing removable after refinement.
+    NothingRemovable,
+}
+
+/// Per-loop transformation report.
+#[derive(Clone, Debug)]
+pub struct LoopReport {
+    /// Loop head index in the *original* program.
+    pub head: usize,
+    /// Body length (instructions, back edge included) before rewriting.
+    pub body_len: usize,
+    /// Static trip count.
+    pub trips: u64,
+    /// Liftable candidates found.
+    pub candidates: usize,
+    /// Candidates actually removed.
+    pub removed: usize,
+    /// Controller states used (= body length after removal).
+    pub states_used: usize,
+    /// States carrying a non-straight route.
+    pub routed_states: usize,
+    /// Outcome.
+    pub status: LoopStatus,
+}
+
+/// Whole-program transformation report.
+#[derive(Clone, Debug)]
+pub struct CompileReport {
+    /// Program name.
+    pub name: String,
+    /// Per-loop details (in program order of loop heads).
+    pub loops: Vec<LoopReport>,
+    /// Static realignment instructions removed.
+    pub removed_static: usize,
+    /// Instructions added (MMIO setup prologue + GO stores).
+    pub setup_instructions: usize,
+}
+
+impl CompileReport {
+    /// Total candidates across loops.
+    pub fn candidates(&self) -> usize {
+        self.loops.iter().map(|l| l.candidates).sum()
+    }
+}
+
+/// Result of [`lift_permutes`].
+pub struct TransformResult {
+    /// The rewritten program (setup prologue + GO stores, permutes
+    /// removed).
+    pub program: Program,
+    /// SPU programs by context slot.
+    pub spu_programs: Vec<(usize, SpuProgram)>,
+    /// Accounting.
+    pub report: CompileReport,
+}
+
+/// A transformed loop, pre-rewrite.
+pub(crate) struct LoopPlan {
+    pub head: usize,
+    pub removal: BTreeSet<usize>,
+    /// Routes per *kept* body position (`None` = straight).
+    pub routes: Vec<RoutePair>,
+    pub context: usize,
+    pub spu_program: SpuProgram,
+}
+
+/// Run the lifting pass against `shape`.
+///
+/// Every innermost loop with a static trip count and a straight-line body
+/// is considered; realignment instructions are deleted where their
+/// consumers' operand routes are expressible in `shape`. Loops that
+/// cannot be transformed are left untouched and reported.
+///
+/// ```
+/// use subword_compile::lift_permutes;
+/// use subword_spu::SHAPE_A;
+///
+/// let program = subword_isa::asm::assemble("demo", r#"
+///     .trips loop 8
+///     mov r0, 8
+/// loop:
+///     movq mm0, [0x1000]
+///     movq mm1, [0x1008]
+///     movq mm2, mm0        ; copy - liftable
+///     punpcklwd mm2, mm1   ; unpack - liftable
+///     paddw mm3, mm2
+///     movq [0x2000], mm3
+///     sub r0, 1
+///     jnz loop
+///     halt
+/// "#).unwrap();
+///
+/// let lifted = lift_permutes(&program, &SHAPE_A).unwrap();
+/// assert_eq!(lifted.report.removed_static, 2);
+/// assert_eq!(lifted.spu_programs.len(), 1);
+/// ```
+pub fn lift_permutes(
+    program: &Program,
+    shape: &CrossbarShape,
+) -> Result<TransformResult, CompileError> {
+    program.validate().map_err(|e| CompileError::BadProgram(e.to_string()))?;
+
+    let live_in = mm_live_in(program);
+    let mut reports = Vec::new();
+    let mut plans: Vec<LoopPlan> = Vec::new();
+    let mut next_ctx = 0usize;
+
+    // Innermost loops only: a loop is innermost if no other loop nests
+    // strictly inside it.
+    let mut loops: Vec<&LoopInfo> = program
+        .loops
+        .iter()
+        .filter(|l| {
+            !program
+                .loops
+                .iter()
+                .any(|o| (o.head > l.head && o.back_edge <= l.back_edge)
+                    || (o.head >= l.head && o.back_edge < l.back_edge))
+        })
+        .collect();
+    loops.sort_by_key(|l| l.head);
+
+    for l in loops {
+        let mut rep = LoopReport {
+            head: l.head,
+            body_len: l.body_len(),
+            trips: l.trip_count.unwrap_or(0),
+            candidates: 0,
+            removed: 0,
+            states_used: 0,
+            routed_states: 0,
+            status: LoopStatus::Transformed,
+        };
+
+        let body = &program.instrs[l.head..=l.back_edge];
+        rep.candidates = body.iter().filter(|i| is_liftable(i)).count();
+
+        let status = check_loop(program, l, next_ctx);
+        if let Some(status) = status {
+            rep.status = status;
+            reports.push(rep);
+            continue;
+        }
+        let trips = l.trip_count.unwrap();
+
+        match plan_loop(program, &live_in, l, trips, shape, next_ctx) {
+            Some(plan) => {
+                rep.removed = plan.removal.len();
+                rep.states_used = plan.routes.len();
+                rep.routed_states =
+                    plan.routes.iter().filter(|(a, b)| a.is_some() || b.is_some()).count();
+                if rep.removed == 0 {
+                    rep.status = LoopStatus::NothingRemovable;
+                } else {
+                    next_ctx += 1;
+                    plans.push(plan);
+                }
+            }
+            None => rep.status = LoopStatus::NothingRemovable,
+        }
+        reports.push(rep);
+    }
+
+    let removed_static: usize = plans.iter().map(|p| p.removal.len()).sum();
+    let (program_out, setup_instructions) = rewrite::rewrite(program, &plans)
+        .map_err(CompileError::RewriteFailed)?;
+    let spu_programs =
+        plans.into_iter().map(|p| (p.context, p.spu_program)).collect::<Vec<_>>();
+
+    Ok(TransformResult {
+        program: program_out,
+        spu_programs,
+        report: CompileReport {
+            name: program.name.clone(),
+            loops: reports,
+            removed_static,
+            setup_instructions,
+        },
+    })
+}
+
+/// Structural checks; `Some(status)` = skip with that status.
+fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Option<LoopStatus> {
+    let body = &program.instrs[l.head..=l.back_edge];
+    if !body.iter().any(is_liftable) {
+        return Some(LoopStatus::NoCandidates);
+    }
+    if l.trip_count.is_none() {
+        return Some(LoopStatus::DynamicTripCount);
+    }
+    // Straight line: only the back edge may branch.
+    if body[..body.len() - 1].iter().any(|i| i.is_branch()) {
+        return Some(LoopStatus::NotStraightLine);
+    }
+    if !matches!(body[body.len() - 1], Instr::Jcc { .. }) {
+        return Some(LoopStatus::UnconditionalBackEdge);
+    }
+    if body.len() > MAX_STATES {
+        return Some(LoopStatus::TooManyStates);
+    }
+    if next_ctx >= MAX_CONTEXTS {
+        return Some(LoopStatus::OutOfContexts);
+    }
+    // No other branch may target the head (the GO store sits right in
+    // front of it, outside the loop).
+    let head_label_hits = program
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(i, ins)| {
+            *i != l.back_edge
+                && ins.branch_target().map(|t| program.resolve(t)) == Some(l.head)
+        })
+        .count();
+    if head_label_hits > 0 {
+        return Some(LoopStatus::HeadHasOtherPredecessors);
+    }
+    None
+}
+
+/// Plan one loop: choose the removal set by iterative refinement and
+/// build the routes + SPU program.
+fn plan_loop(
+    program: &Program,
+    live_in: &[MmMask],
+    l: &LoopInfo,
+    trips: u64,
+    shape: &CrossbarShape,
+    context: usize,
+) -> Option<LoopPlan> {
+    let body: Vec<Instr> = program.instrs[l.head..=l.back_edge].to_vec();
+    let len = body.len();
+
+    // Initial removal set: every liftable candidate whose destination is
+    // dead on the loop's exit edge (the SPU is idle outside the loop, so
+    // a stale register must not escape).
+    let mut removal: BTreeSet<usize> = (0..len)
+        .filter(|&p| is_liftable(&body[p]))
+        .filter(|&p| {
+            let dst = mm_write(&body[p]).expect("liftable writes a register");
+            !live_on_loop_exit(program, live_in, l.back_edge, dst)
+        })
+        .collect();
+
+    loop {
+        if removal.is_empty() {
+            return None;
+        }
+        match try_routes(&body, &removal, shape, trips) {
+            Ok(routes) => {
+                let spu_program = build_spu_program(
+                    &program.name,
+                    &routes,
+                    trips,
+                    shape,
+                    context,
+                );
+                return Some(LoopPlan {
+                    head: l.head,
+                    removal,
+                    routes,
+                    context,
+                    spu_program: spu_program?,
+                });
+            }
+            Err(blame) => {
+                // Un-delete the blamed candidate and retry.
+                if !removal.remove(&blame) {
+                    // Defensive: blame not in set (should not happen);
+                    // abort rather than loop forever.
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Operand-route pair for one kept instruction.
+pub(crate) type RoutePair = (Option<ByteRoute>, Option<ByteRoute>);
+
+/// Compute routes for every kept position, or return the candidate to
+/// blame for a failure.
+fn try_routes(
+    body: &[Instr],
+    removal: &BTreeSet<usize>,
+    shape: &CrossbarShape,
+    trips: u64,
+) -> Result<Vec<RoutePair>, usize> {
+    let len = body.len();
+    let kept_len = len - removal.len();
+    if kept_len == 0 || kept_len > MAX_STATES {
+        // Cannot happen in practice (back edge is never liftable), but
+        // guard anyway: blame an arbitrary candidate.
+        return Err(*removal.iter().next().unwrap());
+    }
+    if (kept_len as u64).checked_mul(trips).is_none() {
+        return Err(*removal.iter().next().unwrap());
+    }
+
+    let mut routes = Vec::with_capacity(kept_len);
+    let mut route_hops: Vec<usize> = Vec::new(); // blame handle per route
+    let mut all_routes: Vec<ByteRoute> = Vec::new();
+    for pos in 0..len {
+        if removal.contains(&pos) {
+            continue;
+        }
+        let ins = &body[pos];
+        let (mask_a, mask_b) = operand_masks(ins);
+        let (reg_a, reg_b) = operand_regs(ins);
+        let mut pair = (None, None);
+        for (slot, mask, reg) in [(0usize, mask_a, reg_a), (1, mask_b, reg_b)] {
+            let (Some(mask), Some(reg)) = (mask, reg) else { continue };
+            let mut bytes = [0u8; 8];
+            let mut hop: Option<usize> = None;
+            for (b, m) in mask.iter().enumerate() {
+                if !*m {
+                    bytes[b] = reg.file_byte(b) as u8;
+                    continue;
+                }
+                match resolve_byte(body, removal, pos, reg, b as u8) {
+                    Ok(ResolvedByte { src, first_hop }) => {
+                        bytes[b] = src;
+                        hop = hop.or(first_hop);
+                    }
+                    Err(fail) => return Err(fail.blame()),
+                }
+            }
+            if let Some(h) = hop {
+                let route = ByteRoute(bytes);
+                if slot == 0 {
+                    pair.0 = Some(route);
+                } else {
+                    pair.1 = Some(route);
+                }
+                all_routes.push(route);
+                route_hops.push(h);
+            }
+        }
+        routes.push(pair);
+    }
+
+    // Shape expressibility: word alignment for 16-bit ports, and a single
+    // register window covering every route for windowed shapes. On
+    // violation, blame the first deleted candidate feeding the offending
+    // route.
+    if shape.port_bits == 16 {
+        for (route, hop) in all_routes.iter().zip(&route_hops) {
+            if !route.word_aligned() {
+                return Err(*hop);
+            }
+        }
+    }
+    if !shape.full_reach() {
+        let mut lo = 7u8;
+        let mut hi = 0u8;
+        for route in &all_routes {
+            let (base, span) = route.reg_span();
+            lo = lo.min(base);
+            hi = hi.max(base + span - 1);
+        }
+        if !all_routes.is_empty() && (hi - lo + 1) as usize > shape.window_regs() {
+            // Blame the route that extends the span the furthest.
+            let worst = all_routes
+                .iter()
+                .zip(&route_hops)
+                .max_by_key(|(r, _)| {
+                    let (b, s) = r.reg_span();
+                    (b + s - 1) as usize
+                })
+                .map(|(_, h)| *h)
+                .unwrap();
+            return Err(worst);
+        }
+    }
+    Ok(routes)
+}
+
+/// Build the Figure 7-style single-loop SPU program from the kept-body
+/// routes.
+fn build_spu_program(
+    name: &str,
+    routes: &[(Option<ByteRoute>, Option<ByteRoute>)],
+    trips: u64,
+    shape: &CrossbarShape,
+    context: usize,
+) -> Option<SpuProgram> {
+    let mut prog = SpuProgram::single_loop(format!("{name}-ctx{context}"), routes, trips);
+    // Choose a window base for windowed shapes.
+    if !shape.full_reach() {
+        let max_base = 8 - shape.window_regs() as u8;
+        let base = (0..=max_base).find(|b| {
+            let mut c = prog.clone();
+            c.window_base = *b;
+            c.validate(shape).is_ok()
+        })?;
+        prog.window_base = base;
+    }
+    prog.validate(shape).ok()?;
+    Some(prog)
+}

@@ -1,0 +1,100 @@
+//! Program reconstruction: delete lifted permutes, prepend the MMIO setup
+//! prologue, and drop a GO store in front of each transformed loop.
+
+use crate::pass::LoopPlan;
+use std::collections::HashMap;
+use subword_isa::program::{Label, LoopInfo, Program};
+use subword_isa::ProgramBuilder;
+use subword_spu::mmio::{emit_spu_go, emit_spu_setup};
+
+/// Rebuild `program` according to `plans`. Returns the new program and
+/// the number of setup instructions added (prologue + GO stores).
+pub(crate) fn rewrite(
+    program: &Program,
+    plans: &[LoopPlan],
+) -> Result<(Program, usize), String> {
+    let mut b = ProgramBuilder::new(format!("{}+spu", program.name));
+
+    // Prologue: program every context once.
+    let mut setup = 0usize;
+    for p in plans {
+        setup += emit_spu_setup(&mut b, p.context, &p.spu_program);
+    }
+
+    // Old label id -> new label handle (same names).
+    let mut label_map: HashMap<u32, Label> = HashMap::new();
+    for id in 0..program.label_count() {
+        let l = Label(id as u32);
+        label_map.insert(id as u32, b.new_label(program.label_name(l)));
+    }
+
+    // Deleted global indices and loop-head GO markers.
+    let deleted: std::collections::BTreeSet<usize> = plans
+        .iter()
+        .flat_map(|p| p.removal.iter().map(move |off| p.head + off))
+        .collect();
+    let go_at: HashMap<usize, &LoopPlan> = plans.iter().map(|p| (p.head, p)).collect();
+
+    // Positions of old labels, grouped.
+    let mut labels_at: HashMap<usize, Vec<u32>> = HashMap::new();
+    for id in 0..program.label_count() {
+        let l = Label(id as u32);
+        labels_at.entry(program.resolve(l)).or_default().push(id as u32);
+    }
+
+    let mut old_to_new: Vec<usize> = Vec::with_capacity(program.instrs.len() + 1);
+    for (i, ins) in program.instrs.iter().enumerate() {
+        // GO store goes *before* the loop-head label so the back edge
+        // re-enters past it.
+        if let Some(plan) = go_at.get(&i) {
+            emit_spu_go(&mut b, plan.context, &plan.spu_program);
+            setup += 1;
+        }
+        if let Some(ids) = labels_at.get(&i) {
+            for id in ids {
+                b.bind(label_map[id]);
+            }
+        }
+        old_to_new.push(b.here());
+        if deleted.contains(&i) {
+            continue;
+        }
+        // Remap branch targets.
+        let remapped = match ins.branch_target() {
+            Some(t) => {
+                let nt = label_map[&t.0];
+                match ins {
+                    subword_isa::Instr::Jmp { .. } => subword_isa::Instr::Jmp { target: nt },
+                    subword_isa::Instr::Jcc { cond, .. } => {
+                        subword_isa::Instr::Jcc { cond: *cond, target: nt }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            None => *ins,
+        };
+        b.raw(remapped);
+    }
+    // Labels bound at the very end.
+    if let Some(ids) = labels_at.get(&program.instrs.len()) {
+        for id in ids {
+            b.bind(label_map[id]);
+        }
+    }
+    old_to_new.push(b.here());
+
+    let mut out = b.finish_unchecked();
+    // Remap loop metadata (back edges of transformed loops keep their
+    // new positions; body lengths shrink by the deletions inside).
+    out.loops = program
+        .loops
+        .iter()
+        .map(|l| LoopInfo {
+            head: old_to_new[l.head],
+            back_edge: old_to_new[l.back_edge],
+            trip_count: l.trip_count,
+        })
+        .collect();
+    out.validate().map_err(|e| e.to_string())?;
+    Ok((out, setup))
+}

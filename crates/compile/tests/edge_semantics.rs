@@ -1,0 +1,182 @@
+//! Edge-case semantics through the full toolchain: saturation at the
+//! rails, single-trip regions, pack consumers of routed operands, and the
+//! pure-text pipeline (assemble → lift → simulate).
+
+use subword_compile::{differential, lift_permutes, LoopStatus, TestSetup};
+use subword_isa::asm::assemble;
+use subword_isa::mem::Mem;
+use subword_isa::op::{AluOp, Cond, MmxOp};
+use subword_isa::reg::gp::*;
+use subword_isa::reg::MmReg::*;
+use subword_isa::ProgramBuilder;
+use subword_spu::SHAPE_A;
+
+/// The whole flow from assembler text: `.trips` metadata feeds the lifting
+/// pass; the lifted program matches the original byte for byte.
+#[test]
+fn text_kernel_lifts_and_matches() {
+    let p = assemble(
+        "text-kernel",
+        r#"
+        .trips loop 16
+        mov r0, 16
+        mov r1, 0x1000
+        mov r2, 0x2000
+    loop:
+        movq mm0, [r1]
+        movq mm1, [r1+8]
+        movq mm2, mm0        ; liftable copy
+        punpcklwd mm2, mm1   ; liftable unpack
+        paddsw mm3, mm2
+        movq [r2], mm3
+        add r1, 16
+        add r2, 8
+        sub r0, 1
+        jnz loop
+        halt
+    "#,
+    )
+    .unwrap();
+    let lifted = lift_permutes(&p, &SHAPE_A).unwrap();
+    assert_eq!(lifted.report.removed_static, 2);
+    assert_eq!(lifted.report.loops[0].status, LoopStatus::Transformed);
+
+    let input: Vec<u8> = (0..=255u8).collect();
+    let setup = TestSetup {
+        mem_init: vec![(0x1000, input)],
+        outputs: vec![(0x2000, 16 * 8)],
+        ..Default::default()
+    };
+    let d = differential(&p, &lifted.program, &SHAPE_A, &setup).unwrap();
+    assert_eq!(d.realignments_removed(), 2 * 16);
+}
+
+/// Saturating arithmetic at the rails consumes routed operands: the exact
+/// saturation points must survive the lift (values at i16::MIN/MAX).
+#[test]
+fn saturation_rails_survive_routing() {
+    let mut b = ProgramBuilder::new("sat");
+    b.mov_ri(R0, 8);
+    b.mov_ri(R2, 0x2000);
+    let l = b.bind_here("loop");
+    b.movq_load(MM0, Mem::abs(0x1000)); // extreme words
+    b.movq_load(MM1, Mem::abs(0x1008));
+    b.movq_rr(MM2, MM0); // liftable
+    b.mmx_rr(MmxOp::Punpckhwd, MM2, MM1); // liftable
+    b.mmx_rr(MmxOp::Paddsw, MM2, MM0); // saturates against rail values
+    b.mmx_rr(MmxOp::Psubsw, MM2, MM1); // saturates again
+    b.movq_store(Mem::base(R2), MM2);
+    b.alu_ri(AluOp::Add, R2, 8);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(8));
+    b.halt();
+    let p = b.finish().unwrap();
+
+    // Wait: paddsw/psubsw read MM2 (routed through the deleted unpack)
+    // and MM0/MM1 — the unpack and copy must lift, the saturating ops
+    // stay and must see identical operands.
+    let lifted = lift_permutes(&p, &SHAPE_A).unwrap();
+    assert_eq!(lifted.report.removed_static, 2);
+
+    let rails: Vec<i16> = vec![i16::MAX, i16::MIN, -1, 1, i16::MAX, i16::MIN, 32766, -32767];
+    let bytes: Vec<u8> = rails.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let setup = TestSetup {
+        mem_init: vec![(0x1000, bytes)],
+        outputs: vec![(0x2000, 64)],
+        ..Default::default()
+    };
+    differential(&p, &lifted.program, &SHAPE_A, &setup).unwrap();
+}
+
+/// A straight-line region expressed as a single-trip loop transforms and
+/// re-arms correctly when an outer loop repeats it.
+#[test]
+fn single_trip_region_inside_outer_loop() {
+    let mut b = ProgramBuilder::new("region");
+    b.mov_ri(R9, 5);
+    let outer = b.bind_here("outer");
+    b.mov_ri(R0, 1);
+    let region = b.bind_here("region");
+    b.movq_load(MM0, Mem::abs(0x1000));
+    b.movq_load(MM1, Mem::abs(0x1008));
+    b.movq_rr(MM2, MM0);
+    b.mmx_rr(MmxOp::Punpckldq, MM2, MM1);
+    b.movq_store(Mem::abs(0x2000), MM2);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, region);
+    b.mark_loop(region, Some(1));
+    b.alu_ri(AluOp::Sub, R9, 1);
+    b.jcc(Cond::Ne, outer);
+    b.mark_loop(outer, Some(5));
+    b.halt();
+    let p = b.finish().unwrap();
+
+    let lifted = lift_permutes(&p, &SHAPE_A).unwrap();
+    assert_eq!(lifted.report.removed_static, 2);
+    let setup = TestSetup {
+        mem_init: vec![(0x1000, (1..=16).collect())],
+        outputs: vec![(0x2000, 8)],
+        ..Default::default()
+    };
+    let d = differential(&p, &lifted.program, &SHAPE_A, &setup).unwrap();
+    // Re-armed once per outer iteration.
+    assert_eq!(d.transformed.spu_activations, 5);
+}
+
+/// A kept saturating pack whose *operands* route through deleted permutes:
+/// the pack's saturation must act on the routed values.
+#[test]
+fn pack_consumes_routed_operands() {
+    let mut b = ProgramBuilder::new("packrouted");
+    b.mov_ri(R0, 6);
+    b.mov_ri(R2, 0x2000);
+    let l = b.bind_here("loop");
+    b.movq_load(MM0, Mem::abs(0x1000)); // dwords beyond i16 range
+    b.movq_load(MM1, Mem::abs(0x1008));
+    b.movq_rr(MM2, MM0); // liftable copy
+    b.movq_rr(MM3, MM1); // liftable copy
+    b.mmx_rr(MmxOp::Packssdw, MM2, MM3); // kept: saturation is arithmetic
+    b.movq_store(Mem::base(R2), MM2);
+    b.alu_ri(AluOp::Add, R2, 8);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(6));
+    b.halt();
+    let p = b.finish().unwrap();
+
+    let lifted = lift_permutes(&p, &SHAPE_A).unwrap();
+    // Copies lift; the pack stays.
+    assert_eq!(lifted.report.removed_static, 2);
+    let mix = lifted.program.static_mix();
+    assert!(mix.realignment >= 1, "pack must remain");
+
+    let dwords: Vec<i32> = vec![100_000, -100_000, 32_767, -32_768];
+    let bytes: Vec<u8> = dwords.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let setup = TestSetup {
+        mem_init: vec![(0x1000, bytes)],
+        outputs: vec![(0x2000, 48)],
+        ..Default::default()
+    };
+    differential(&p, &lifted.program, &SHAPE_A, &setup).unwrap();
+}
+
+/// Counter width: a loop whose `states × trips` product exceeds u32 must
+/// be rejected, not wrapped.
+#[test]
+fn oversized_counter_rejected() {
+    let mut b = ProgramBuilder::new("huge");
+    b.mov_ri(R0, 0);
+    let l = b.bind_here("loop");
+    b.movq_rr(MM2, MM0);
+    b.mmx_rr(MmxOp::Punpcklwd, MM2, MM1);
+    b.mmx_rr(MmxOp::Paddw, MM3, MM2);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(u64::MAX / 2));
+    b.halt();
+    let p = b.finish().unwrap();
+    let lifted = lift_permutes(&p, &SHAPE_A).unwrap();
+    // The pass declines the loop rather than emitting a wrapped counter.
+    assert_eq!(lifted.report.removed_static, 0);
+}

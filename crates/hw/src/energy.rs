@@ -1,0 +1,183 @@
+//! First-order energy model — an *extension* beyond the paper's
+//! evaluation, motivated by its introduction ("Performance is key, but
+//! energy efficiency and code size will also become important").
+//!
+//! The model charges per-event energies to the counters the simulator
+//! collects. Removing a permutation instruction saves its front-end
+//! (fetch/decode/issue) and execute energy; the SPU charges back a
+//! control-memory read per step (scaled by the micro-word width) and a
+//! crossbar traversal per routed operand fetch (scaled by interconnect
+//! area). Constants are order-of-magnitude 0.25 µm-era values and are
+//! deliberately exposed for sensitivity exploration; the *relative*
+//! comparisons (MMX vs MMX+SPU on the same kernel) are the meaningful
+//! output.
+
+use subword_sim::SimStats;
+use subword_spu::crossbar::CrossbarShape;
+use subword_spu::microcode::SpuState;
+
+/// Per-event energy charges in nanojoules.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Fetch + decode + issue, per instruction.
+    pub front_end_nj: f64,
+    /// Scalar ALU execute.
+    pub scalar_nj: f64,
+    /// Scalar multiply execute.
+    pub scalar_mul_nj: f64,
+    /// MMX (64-bit datapath) execute, non-multiply.
+    pub mmx_alu_nj: f64,
+    /// MMX multiply execute.
+    pub mmx_mul_nj: f64,
+    /// L1 access, per load or store.
+    pub mem_nj: f64,
+    /// Branch resolution / BTB access.
+    pub branch_nj: f64,
+    /// Pipeline flush on mispredict.
+    pub flush_nj: f64,
+    /// SPU control-memory read per controller step, per kilobit of
+    /// micro-word width.
+    pub spu_step_nj_per_kbit: f64,
+    /// Crossbar traversal per routed instruction, per mm² of
+    /// interconnect.
+    pub route_nj_per_mm2: f64,
+    /// Clock/leakage per cycle.
+    pub cycle_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            front_end_nj: 1.2,
+            scalar_nj: 0.4,
+            scalar_mul_nj: 3.0,
+            mmx_alu_nj: 0.8,
+            mmx_mul_nj: 2.2,
+            mem_nj: 1.0,
+            branch_nj: 0.3,
+            flush_nj: 5.0,
+            spu_step_nj_per_kbit: 0.5,
+            route_nj_per_mm2: 0.08,
+            cycle_nj: 1.5,
+        }
+    }
+}
+
+/// Energy attribution for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Front-end (fetch/decode/issue) energy, nJ.
+    pub front_end: f64,
+    /// Functional-unit execute energy, nJ.
+    pub compute: f64,
+    /// Memory access energy, nJ.
+    pub memory: f64,
+    /// Branch + flush energy, nJ.
+    pub branch: f64,
+    /// SPU controller + crossbar energy, nJ.
+    pub spu: f64,
+    /// Clock/leakage energy, nJ.
+    pub clock: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total(&self) -> f64 {
+        self.front_end + self.compute + self.memory + self.branch + self.spu + self.clock
+    }
+}
+
+impl EnergyModel {
+    /// Attribute energy to a run's statistics. `spu_shape` is the fitted
+    /// crossbar when the machine has an SPU.
+    pub fn estimate(&self, s: &SimStats, spu_shape: Option<&CrossbarShape>) -> EnergyBreakdown {
+        let mmx_alu = s.mmx_instructions - s.mmx_multiplies;
+        let scalar_alu = s.scalar_instructions - s.scalar_multiplies;
+        let compute = mmx_alu as f64 * self.mmx_alu_nj
+            + s.mmx_multiplies as f64 * self.mmx_mul_nj
+            + scalar_alu as f64 * self.scalar_nj
+            + s.scalar_multiplies as f64 * self.scalar_mul_nj;
+        let spu = match spu_shape {
+            Some(shape) => {
+                let word_kbit = SpuState::hw_bits(shape) as f64 / 1000.0;
+                let area = crate::crossbar::CrossbarModel::default().area_mm2(shape);
+                s.spu_steps as f64 * word_kbit * self.spu_step_nj_per_kbit
+                    + s.spu_routed as f64 * area * self.route_nj_per_mm2
+            }
+            None => 0.0,
+        };
+        EnergyBreakdown {
+            front_end: s.instructions as f64 * self.front_end_nj,
+            compute,
+            memory: (s.loads + s.stores) as f64 * self.mem_nj,
+            branch: s.branches as f64 * self.branch_nj
+                + s.mispredicts as f64 * self.flush_nj,
+            spu,
+            clock: s.cycles as f64 * self.cycle_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_spu::{SHAPE_A, SHAPE_D};
+
+    fn stats(instr: u64, mmx: u64, steps: u64, routed: u64) -> SimStats {
+        SimStats {
+            cycles: instr,
+            instructions: instr,
+            mmx_instructions: mmx,
+            scalar_instructions: instr - mmx,
+            spu_steps: steps,
+            spu_routed: routed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let m = EnergyModel::default();
+        let b = m.estimate(&stats(100, 40, 0, 0), None);
+        let total = b.front_end + b.compute + b.memory + b.branch + b.spu + b.clock;
+        assert!((b.total() - total).abs() < 1e-9);
+        assert_eq!(b.spu, 0.0);
+    }
+
+    /// Removing instructions must save more than the controller charges
+    /// back, for realistic step counts.
+    #[test]
+    fn deleting_permutes_saves_net_energy() {
+        let m = EnergyModel::default();
+        // Baseline: 1000 instructions, 400 MMX (100 of them permutes).
+        let base = m.estimate(&stats(1000, 400, 0, 0), None);
+        // SPU: 100 permutes gone; controller steps once per remaining
+        // instruction; 100 routed fetches.
+        let spu = m.estimate(&stats(900, 300, 900, 100), Some(&SHAPE_D));
+        assert!(
+            spu.total() < base.total(),
+            "SPU {:.1} nJ should beat baseline {:.1} nJ",
+            spu.total(),
+            base.total()
+        );
+    }
+
+    /// The big full-reach crossbar costs measurably more per routed fetch
+    /// than shape D.
+    #[test]
+    fn shape_a_routes_cost_more() {
+        let m = EnergyModel::default();
+        let s = stats(900, 300, 900, 200);
+        let a = m.estimate(&s, Some(&SHAPE_A)).spu;
+        let d = m.estimate(&s, Some(&SHAPE_D)).spu;
+        assert!(a > d);
+    }
+
+    /// With no SPU activity the SPU term vanishes even on an SPU machine.
+    #[test]
+    fn idle_spu_costs_nothing() {
+        let m = EnergyModel::default();
+        let b = m.estimate(&stats(100, 40, 0, 0), Some(&SHAPE_A));
+        assert_eq!(b.spu, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # subword-hw
+//!
+//! Analytic silicon-cost models for the SPU, calibrated against the
+//! paper's published implementation data (Table 1: four crossbar
+//! configurations laid out in the Princeton VSP 0.25 µm 2-metal process,
+//! and the control-memory sizing formula `128 × (15 + K)`).
+//!
+//! The paper's own numbers are estimates scaled from the VSP layout
+//! (Wolfe et al., HPCA-3 1997; Dutta et al., IEEE TCSVT 1998); this crate
+//! exposes
+//!
+//! * [`crossbar::CrossbarModel`] — a two-term area model (wiring grid +
+//!   crosspoint switches) and a fitted delay model, each with calibration
+//!   residuals against Table 1 checked in tests;
+//! * [`control_memory`] — SRAM macro size from the paper's bit formula;
+//! * [`technology`] — constant-field scaling between process nodes
+//!   (0.25 µm → 0.18 µm, 2 → 6 metal layers as §5.1 describes);
+//! * [`die`] — the "< 1 % of a 106 mm² Pentium III" overhead claim.
+
+pub mod control_memory;
+pub mod crossbar;
+pub mod die;
+pub mod energy;
+pub mod technology;
+
+pub use control_memory::ControlMemoryModel;
+pub use crossbar::CrossbarModel;
+pub use die::DieOverhead;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use technology::Technology;

@@ -1,0 +1,81 @@
+//! Constant-field technology scaling between process nodes.
+//!
+//! The paper's layout data is 0.25 µm with 2 metal layers; the die-overhead
+//! claim is made "scaling to .18µ with 6-layers of metal" (§5.1). First-
+//! order constant-field scaling: area scales with the square of the feature
+//! size ratio, gate delay scales linearly, and each added routing layer
+//! pair relieves wire-dominated blocks — the paper notes the crossbar "is
+//! dominated by wiring", so extra metal helps area more than logic blocks;
+//! we model that with a modest per-layer-pair wiring relief factor and
+//! report both the conservative (no relief) and relieved values.
+
+/// A process node description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Drawn feature size in µm.
+    pub feature_um: f64,
+    /// Metal layers available for routing.
+    pub metal_layers: u32,
+}
+
+impl Technology {
+    /// The Princeton VSP process the paper's layout numbers come from.
+    pub const VSP_025: Technology = Technology { feature_um: 0.25, metal_layers: 2 };
+
+    /// The Pentium III process of the paper's die-overhead claim.
+    pub const PIII_018: Technology = Technology { feature_um: 0.18, metal_layers: 6 };
+
+    /// Area scale factor from `self` to `to` (constant-field: quadratic in
+    /// feature-size ratio), without wiring relief.
+    pub fn area_scale(&self, to: &Technology) -> f64 {
+        let r = to.feature_um / self.feature_um;
+        r * r
+    }
+
+    /// Area scale factor including wiring relief for wire-dominated blocks:
+    /// each extra metal *pair* beyond the source process shrinks routed
+    /// area by ~15 % (folded-crossbar channel sharing).
+    pub fn area_scale_wire_dominated(&self, to: &Technology) -> f64 {
+        let pairs = (to.metal_layers.saturating_sub(self.metal_layers)) / 2;
+        self.area_scale(to) * 0.85f64.powi(pairs as i32)
+    }
+
+    /// Delay scale factor (linear in feature-size ratio).
+    pub fn delay_scale(&self, to: &Technology) -> f64 {
+        to.feature_um / self.feature_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_to_018_area_scale() {
+        let s = Technology::VSP_025.area_scale(&Technology::PIII_018);
+        assert!((s - 0.5184).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wire_relief_shrinks_further() {
+        let plain = Technology::VSP_025.area_scale(&Technology::PIII_018);
+        let relieved = Technology::VSP_025.area_scale_wire_dominated(&Technology::PIII_018);
+        assert!(relieved < plain);
+        // 2 extra pairs: 0.85^2.
+        assert!((relieved / plain - 0.7225).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_scales_linearly() {
+        let s = Technology::VSP_025.delay_scale(&Technology::PIII_018);
+        assert!((s - 0.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_scaling() {
+        let t = Technology::VSP_025;
+        assert_eq!(t.area_scale(&t), 1.0);
+        assert_eq!(t.delay_scale(&t), 1.0);
+        assert_eq!(t.area_scale_wire_dominated(&t), 1.0);
+    }
+}

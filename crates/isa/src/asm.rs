@@ -1,0 +1,595 @@
+//! Text assembler for the instruction set.
+//!
+//! The accepted syntax is the same one [`crate::instr::Instr`]'s `Display`
+//! implementation produces (Intel operand order, `;` comments, labels as
+//! `name:` lines), so assembly and disassembly round-trip. Label operands in
+//! source text use label *names*; the disassembler prints `L<id>` names,
+//! which are accepted back.
+//!
+//! One directive is supported: `.trips <label> <count>` declares that the
+//! loop headed at `<label>` (whose back edge is the last branch targeting
+//! it) runs `<count>` iterations per entry — the metadata the SPU
+//! compiler's zero-overhead counters need. This lets complete, liftable
+//! kernels be written as plain text.
+//!
+//! ```
+//! let p = subword_isa::asm::assemble("demo", r#"
+//!     mov r0, 4
+//! top:
+//!     paddw mm0, mm1
+//!     sub r0, 1
+//!     jnz top
+//!     halt
+//! "#).unwrap();
+//! assert_eq!(p.len(), 5);
+//! ```
+
+use crate::instr::{GpOperand, Instr, MmxOperand};
+use crate::mem::Mem;
+use crate::op::{AluOp, Cond, MmxOp};
+use crate::program::{Label, Program};
+use crate::reg::{GpReg, MmReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+fn parse_mm(s: &str) -> Option<MmReg> {
+    let n = s.strip_prefix("mm")?.parse::<usize>().ok()?;
+    MmReg::from_index(n)
+}
+
+fn parse_gp(s: &str) -> Option<GpReg> {
+    let n = s.strip_prefix('r')?.parse::<usize>().ok()?;
+    GpReg::from_index(n)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Parse `[base + index*scale + disp]`.
+fn parse_mem(s: &str, line: usize) -> Result<Mem, AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got `{s}`")))?;
+    let mut mem = Mem::default();
+    // Split into signed terms.
+    let mut terms: Vec<(bool, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut neg = false;
+    for ch in inner.chars() {
+        match ch {
+            '+' | '-' => {
+                if !cur.trim().is_empty() {
+                    terms.push((neg, cur.trim().to_string()));
+                }
+                cur = String::new();
+                neg = ch == '-';
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        terms.push((neg, cur.trim().to_string()));
+    }
+    if terms.is_empty() {
+        return Err(err(line, "empty memory operand"));
+    }
+    for (tneg, t) in terms {
+        if let Some((rs, ss)) = t.split_once('*') {
+            let r = parse_gp(rs.trim())
+                .ok_or_else(|| err(line, format!("bad index register `{rs}`")))?;
+            let sc = parse_int(ss)
+                .ok_or_else(|| err(line, format!("bad scale `{ss}`")))? as u8;
+            if tneg {
+                return Err(err(line, "negative scaled index is not supported"));
+            }
+            if mem.index.is_some() {
+                return Err(err(line, "duplicate index term"));
+            }
+            mem.index = Some((r, sc));
+        } else if let Some(r) = parse_gp(&t) {
+            if tneg {
+                return Err(err(line, "negative base register is not supported"));
+            }
+            if mem.base.is_none() {
+                mem.base = Some(r);
+            } else if mem.index.is_none() {
+                mem.index = Some((r, 1));
+            } else {
+                return Err(err(line, "too many register terms"));
+            }
+        } else if let Some(v) = parse_int(&t) {
+            let d = if tneg { -v } else { v };
+            mem.disp = mem.disp.wrapping_add(d as i32);
+        } else {
+            return Err(err(line, format!("bad memory term `{t}`")));
+        }
+    }
+    Ok(mem)
+}
+
+/// Assemble source text into a [`Program`].
+pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
+    struct PendingInstr {
+        line: usize,
+        text: String,
+    }
+    // First pass: collect labels, directives and instruction lines.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pending: Vec<PendingInstr> = Vec::new();
+    let mut trips: Vec<(usize, String, u64)> = Vec::new(); // (line, label, count)
+    for (ln0, raw) in src.lines().enumerate() {
+        let line = ln0 + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".trips") {
+            let mut it = rest.split_whitespace();
+            let (Some(label), Some(count)) = (it.next(), it.next()) else {
+                return Err(err(line, ".trips expects `<label> <count>`"));
+            };
+            let count = count
+                .parse::<u64>()
+                .map_err(|_| err(line, format!("bad trip count `{count}`")))?;
+            trips.push((line, label.to_string(), count));
+            continue;
+        }
+        if text.starts_with('.') {
+            return Err(err(line, format!("unknown directive `{text}`")));
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{text}`")));
+            }
+            if labels.insert(label.to_string(), pending.len()).is_some() {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            continue;
+        }
+        pending.push(PendingInstr { line, text: text.to_string() });
+    }
+
+    let mut label_names: Vec<String> = Vec::new();
+    let mut label_pos: Vec<Option<usize>> = Vec::new();
+    let mut label_ids: HashMap<String, Label> = HashMap::new();
+    for (name, pos) in &labels {
+        let id = Label(label_names.len() as u32);
+        label_names.push(name.clone());
+        label_pos.push(Some(*pos));
+        label_ids.insert(name.clone(), id);
+    }
+
+    // Second pass: parse instructions.
+    let mut instrs = Vec::with_capacity(pending.len());
+    for p in &pending {
+        instrs.push(parse_instr(&p.text, p.line, &label_ids)?);
+    }
+
+    let mut prog = Program {
+        name: name.to_string(),
+        instrs,
+        label_pos,
+        label_names,
+        loops: Vec::new(),
+    };
+
+    // Resolve `.trips` directives: the back edge is the last branch
+    // targeting the named label.
+    for (line, lname, count) in trips {
+        let head_label = prog
+            .find_label(&lname)
+            .ok_or_else(|| err(line, format!(".trips references unknown label `{lname}`")))?;
+        let head = prog.resolve(head_label);
+        let back_edge = prog
+            .instrs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, i)| i.branch_target() == Some(head_label))
+            .map(|(i, _)| i)
+            .ok_or_else(|| err(line, format!("no branch targets `{lname}`")))?;
+        prog.loops.push(crate::program::LoopInfo { head, back_edge, trip_count: Some(count) });
+    }
+    prog.loops.sort_by_key(|l| l.head);
+
+    prog.validate().map_err(|e| err(0, e.to_string()))?;
+    Ok(prog)
+}
+
+fn parse_instr(
+    text: &str,
+    line: usize,
+    labels: &HashMap<String, Label>,
+) -> Result<Instr, AsmError> {
+    let (mn, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m.trim(), r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<String> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mn}` expects {n} operand(s), got {}", ops.len())))
+        }
+    };
+
+    // Zero-operand forms.
+    match mn {
+        "nop" => {
+            need(0)?;
+            return Ok(Instr::Nop);
+        }
+        "halt" => {
+            need(0)?;
+            return Ok(Instr::Halt);
+        }
+        "emms" => {
+            need(0)?;
+            return Ok(Instr::Emms);
+        }
+        _ => {}
+    }
+
+    // Branches.
+    if mn == "jmp" {
+        need(1)?;
+        let target = resolve_label(&ops[0], labels, line)?;
+        return Ok(Instr::Jmp { target });
+    }
+    if let Some(cond) = Cond::from_mnemonic(mn) {
+        need(1)?;
+        let target = resolve_label(&ops[0], labels, line)?;
+        return Ok(Instr::Jcc { cond, target });
+    }
+
+    // movq/movd polymorphic forms.
+    if mn == "movq" {
+        need(2)?;
+        let (a, b) = (&ops[0], &ops[1]);
+        return match (parse_mm(a), parse_mm(b)) {
+            (Some(d), Some(s)) => Ok(Instr::Mmx { op: MmxOp::Movq, dst: d, src: MmxOperand::Reg(s) }),
+            (Some(d), None) => Ok(Instr::MovqLoad { dst: d, addr: parse_mem(b, line)? }),
+            (None, Some(s)) => Ok(Instr::MovqStore { addr: parse_mem(a, line)?, src: s }),
+            _ => Err(err(line, "movq needs at least one mm operand")),
+        };
+    }
+    if mn == "movd" {
+        need(2)?;
+        let (a, b) = (&ops[0], &ops[1]);
+        if let (Some(d), Some(s)) = (parse_mm(a), parse_gp(b)) {
+            return Ok(Instr::MovdToMm { dst: d, src: s });
+        }
+        if let (Some(d), Some(s)) = (parse_gp(a), parse_mm(b)) {
+            return Ok(Instr::MovdFromMm { dst: d, src: s });
+        }
+        if let Some(d) = parse_mm(a) {
+            return Ok(Instr::MovdLoad { dst: d, addr: parse_mem(b, line)? });
+        }
+        if let Some(s) = parse_mm(b) {
+            return Ok(Instr::MovdStore { addr: parse_mem(a, line)?, src: s });
+        }
+        return Err(err(line, "movd needs an mm operand"));
+    }
+
+    // MMX two-operand ops.
+    if let Some(op) = MmxOp::from_mnemonic(mn) {
+        need(2)?;
+        let dst = parse_mm(&ops[0])
+            .ok_or_else(|| err(line, format!("`{mn}` destination must be an mm register")))?;
+        let src = if let Some(r) = parse_mm(&ops[1]) {
+            MmxOperand::Reg(r)
+        } else if ops[1].starts_with('[') {
+            MmxOperand::Mem(parse_mem(&ops[1], line)?)
+        } else if let Some(v) = parse_int(&ops[1]) {
+            MmxOperand::Imm(v as u8)
+        } else {
+            return Err(err(line, format!("bad MMX source operand `{}`", ops[1])));
+        };
+        return Ok(Instr::Mmx { op, dst, src });
+    }
+
+    // lea / cmp / test.
+    if mn == "lea" {
+        need(2)?;
+        let dst = parse_gp(&ops[0]).ok_or_else(|| err(line, "lea destination must be rN"))?;
+        return Ok(Instr::Lea { dst, addr: parse_mem(&ops[1], line)? });
+    }
+    if mn == "cmp" || mn == "test" {
+        need(2)?;
+        let a = parse_gp(&ops[0]).ok_or_else(|| err(line, "first operand must be rN"))?;
+        let b = if let Some(r) = parse_gp(&ops[1]) {
+            GpOperand::Reg(r)
+        } else {
+            GpOperand::Imm(
+                parse_int(&ops[1]).ok_or_else(|| err(line, "bad second operand"))? as i32
+            )
+        };
+        return Ok(if mn == "cmp" { Instr::Cmp { a, b } } else { Instr::Test { a, b } });
+    }
+
+    // 16-bit loads/stores.
+    if mn == "movsx" || mn == "movzx" {
+        need(2)?;
+        let dst = parse_gp(&ops[0]).ok_or_else(|| err(line, "destination must be rN"))?;
+        return Ok(Instr::LoadW { dst, addr: parse_mem(&ops[1], line)?, signed: mn == "movsx" });
+    }
+    if mn == "movw" {
+        need(2)?;
+        let src = parse_gp(&ops[1]).ok_or_else(|| err(line, "source must be rN"))?;
+        return Ok(Instr::StoreW { addr: parse_mem(&ops[0], line)?, src });
+    }
+
+    // mov: scalar reg/mem/imm forms.
+    if mn == "mov" {
+        need(2)?;
+        let (a, b) = (&ops[0], &ops[1]);
+        if let Some(d) = parse_gp(a) {
+            if let Some(s) = parse_gp(b) {
+                return Ok(Instr::Alu { op: AluOp::Mov, dst: d, src: GpOperand::Reg(s) });
+            }
+            if b.starts_with('[') {
+                return Ok(Instr::Load { dst: d, addr: parse_mem(b, line)? });
+            }
+            if let Some(v) = parse_int(b) {
+                return Ok(Instr::Alu { op: AluOp::Mov, dst: d, src: GpOperand::Imm(v as i32) });
+            }
+            return Err(err(line, format!("bad mov source `{b}`")));
+        }
+        if a.starts_with('[') {
+            let addr = parse_mem(a, line)?;
+            if let Some(s) = parse_gp(b) {
+                return Ok(Instr::Store { addr, src: s });
+            }
+            if let Some(v) = parse_int(b) {
+                return Ok(Instr::StoreI { addr, imm: v as u32 });
+            }
+            return Err(err(line, format!("bad mov store source `{b}`")));
+        }
+        return Err(err(line, "bad mov operands"));
+    }
+
+    // Remaining scalar ALU ops.
+    if let Some(op) = AluOp::from_mnemonic(mn) {
+        need(2)?;
+        let dst = parse_gp(&ops[0])
+            .ok_or_else(|| err(line, format!("`{mn}` destination must be rN")))?;
+        let src = if let Some(r) = parse_gp(&ops[1]) {
+            GpOperand::Reg(r)
+        } else {
+            GpOperand::Imm(
+                parse_int(&ops[1]).ok_or_else(|| err(line, "bad source operand"))? as i32
+            )
+        };
+        return Ok(Instr::Alu { op, dst, src });
+    }
+
+    Err(err(line, format!("unknown mnemonic `{mn}`")))
+}
+
+fn resolve_label(
+    name: &str,
+    labels: &HashMap<String, Label>,
+    line: usize,
+) -> Result<Label, AsmError> {
+    if let Some(l) = labels.get(name) {
+        return Ok(*l);
+    }
+    // Accept disassembler-style `L<id>` names.
+    if let Some(id) = name.strip_prefix('L').and_then(|s| s.parse::<u32>().ok()) {
+        if labels.values().any(|l| l.0 == id) {
+            return Ok(Label(id));
+        }
+    }
+    Err(err(line, format!("unknown label `{name}`")))
+}
+
+/// Disassemble a program back to assembly text (round-trips through
+/// [`assemble`] up to label naming).
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, ins) in p.instrs.iter().enumerate() {
+        for (li, pos) in p.label_pos.iter().enumerate() {
+            if *pos == Some(i) {
+                out.push_str(&p.label_names[li]);
+                out.push_str(":\n");
+            }
+        }
+        // Branch targets print label names rather than L-ids.
+        let line = match ins.branch_target() {
+            Some(t) => {
+                let s = ins.to_string();
+                let lname = &p.label_names[t.0 as usize];
+                s.replace(&format!("L{}", t.0), lname)
+            }
+            None => ins.to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::gp::*;
+    use crate::reg::MmReg::*;
+
+    #[test]
+    fn assemble_basic_loop() {
+        let p = assemble(
+            "t",
+            r#"
+            mov r0, 10       ; counter
+        top:
+            movq mm0, [r1+8]
+            pmaddwd mm0, mm1
+            paddd mm2, mm0
+            add r1, 8
+            sub r0, 1
+            jnz top
+            halt
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.instrs[1], Instr::MovqLoad { dst: MM0, addr: Mem::base_disp(R1, 8) });
+        assert!(matches!(p.instrs[6], Instr::Jcc { cond: Cond::Ne, .. }));
+    }
+
+    #[test]
+    fn movq_movd_forms() {
+        let p = assemble(
+            "t",
+            r#"
+            movq mm0, mm1
+            movq mm0, [r0]
+            movq [r0+16], mm2
+            movd mm3, r4
+            movd r5, mm6
+            movd mm7, [r0]
+            movd [r0], mm7
+            halt
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(p.instrs[0], Instr::Mmx { op: MmxOp::Movq, .. }));
+        assert!(matches!(p.instrs[1], Instr::MovqLoad { .. }));
+        assert!(matches!(p.instrs[2], Instr::MovqStore { .. }));
+        assert!(matches!(p.instrs[3], Instr::MovdToMm { dst: MM3, src } if src == R4));
+        assert!(matches!(p.instrs[4], Instr::MovdFromMm { dst, src: MM6 } if dst == R5));
+        assert!(matches!(p.instrs[5], Instr::MovdLoad { .. }));
+        assert!(matches!(p.instrs[6], Instr::MovdStore { .. }));
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let p = assemble(
+            "t",
+            r#"
+            mov r0, [r1+r2*4+16]
+            mov r0, [r1-4]
+            mov [0x100], r0
+            mov [r1], 0xdead
+            halt
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.instrs[0], Instr::Load { dst: R0, addr: Mem::bisd(R1, R2, 4, 16) });
+        assert_eq!(p.instrs[1], Instr::Load { dst: R0, addr: Mem::base_disp(R1, -4) });
+        assert_eq!(p.instrs[2], Instr::Store { addr: Mem::abs(0x100), src: R0 });
+        assert_eq!(p.instrs[3], Instr::StoreI { addr: Mem::base(R1), imm: 0xdead });
+    }
+
+    #[test]
+    fn shift_immediates() {
+        let p = assemble("t", "psrlq mm0, 32\nhalt\n").unwrap();
+        assert_eq!(p.instrs[0], Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t", "nop\nbogus r0, r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+        let e = assemble("t", "jmp nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+        let e = assemble("t", "x:\nx:\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble("t", "paddw r0, mm1\n").unwrap_err();
+        assert!(e.msg.contains("mm register"));
+    }
+
+    #[test]
+    fn trips_directive_marks_loops() {
+        let p = assemble(
+            "t",
+            r#"
+            .trips top 38
+            mov r0, 38
+        top:
+            movq mm0, [r1]
+            punpcklwd mm0, mm2
+            sub r0, 1
+            jnz top
+            halt
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.loops.len(), 1);
+        assert_eq!(p.loops[0].head, 1);
+        assert_eq!(p.loops[0].back_edge, 4);
+        assert_eq!(p.loops[0].trip_count, Some(38));
+    }
+
+    #[test]
+    fn trips_directive_errors() {
+        assert!(assemble("t", ".trips nowhere 4\nhalt\n").unwrap_err().msg.contains("unknown label"));
+        assert!(assemble("t", ".trips\nhalt\n").unwrap_err().msg.contains("expects"));
+        assert!(assemble("t", ".trips x y\nx:\nhalt\n").unwrap_err().msg.contains("bad trip count"));
+        assert!(assemble("t", ".trips x 4\nx:\n nop\nhalt\n").unwrap_err().msg.contains("no branch"));
+        assert!(assemble("t", ".bogus\nhalt\n").unwrap_err().msg.contains("unknown directive"));
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let src = r#"
+            mov r0, 100
+        top:
+            movq mm0, [r1]
+            punpcklwd mm0, mm2
+            packssdw mm0, mm3
+            psrlq mm0, 16
+            movq [r1+8], mm0
+            add r1, 16
+            sub r0, 1
+            jnz top
+            emms
+            halt
+        "#;
+        let p1 = assemble("rt", src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble("rt", &text).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+}

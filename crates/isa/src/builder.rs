@@ -1,0 +1,325 @@
+//! An assembler-style builder DSL for [`Program`]s.
+//!
+//! ```
+//! use subword_isa::builder::ProgramBuilder;
+//! use subword_isa::op::{AluOp, Cond, MmxOp};
+//! use subword_isa::reg::gp::*;
+//! use subword_isa::reg::MmReg::*;
+//! use subword_isa::mem::Mem;
+//!
+//! let mut b = ProgramBuilder::new("dot4");
+//! b.mov_ri(R0, 0x1000);      // x pointer
+//! b.mov_ri(R3, 10);          // iteration count
+//! let l = b.bind_here("loop");
+//! b.movq_load(MM0, Mem::base(R0));
+//! b.mmx_rr(MmxOp::Pmaddwd, MM0, MM1);
+//! b.alu_ri(AluOp::Add, R0, 8);
+//! b.alu_ri(AluOp::Sub, R3, 1);
+//! b.jcc(Cond::Ne, l);
+//! b.mark_loop(l, Some(10));
+//! b.halt();
+//! let program = b.finish().unwrap();
+//! assert_eq!(program.len(), 8);
+//! ```
+
+use crate::instr::{GpOperand, Instr, MmxOperand};
+use crate::mem::Mem;
+use crate::op::{AluOp, Cond, MmxOp};
+use crate::program::{Label, LoopInfo, Program, ProgramError};
+use crate::reg::{GpReg, MmReg};
+
+/// Incrementally builds a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    label_pos: Vec<Option<usize>>,
+    label_names: Vec<String>,
+    loops: Vec<LoopInfo>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Create an unbound label.
+    pub fn new_label(&mut self, name: impl Into<String>) -> Label {
+        self.label_pos.push(None);
+        self.label_names.push(name.into());
+        Label((self.label_pos.len() - 1) as u32)
+    }
+
+    /// Bind a label to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(
+            self.label_pos[l.0 as usize].is_none(),
+            "label {} bound twice",
+            self.label_names[l.0 as usize]
+        );
+        self.label_pos[l.0 as usize] = Some(self.instrs.len());
+    }
+
+    /// Create a label bound to the current position.
+    pub fn bind_here(&mut self, name: impl Into<String>) -> Label {
+        let l = self.new_label(name);
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction index (the position the next emitted instruction
+    /// will occupy).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Append a raw instruction.
+    pub fn raw(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    /// Record loop metadata: the **most recently emitted** instruction is
+    /// the back edge of a loop headed at `head`.
+    ///
+    /// Call immediately after emitting the back-edge branch.
+    pub fn mark_loop(&mut self, head: Label, trip_count: Option<u64>) {
+        let head_pos = self.label_pos[head.0 as usize]
+            .expect("mark_loop requires the head label to be bound");
+        let back_edge = self.instrs.len().checked_sub(1).expect("mark_loop with no instructions");
+        self.loops.push(LoopInfo { head: head_pos, back_edge, trip_count });
+    }
+
+    // ---- MMX forms ------------------------------------------------------
+
+    /// `op mm, mm`
+    pub fn mmx_rr(&mut self, op: MmxOp, dst: MmReg, src: MmReg) -> usize {
+        self.raw(Instr::Mmx { op, dst, src: MmxOperand::Reg(src) })
+    }
+
+    /// `op mm, [mem]`
+    pub fn mmx_rm(&mut self, op: MmxOp, dst: MmReg, src: Mem) -> usize {
+        self.raw(Instr::Mmx { op, dst, src: MmxOperand::Mem(src) })
+    }
+
+    /// `shift mm, imm`
+    pub fn mmx_ri(&mut self, op: MmxOp, dst: MmReg, imm: u8) -> usize {
+        self.raw(Instr::Mmx { op, dst, src: MmxOperand::Imm(imm) })
+    }
+
+    /// `movq mm, mm`
+    pub fn movq_rr(&mut self, dst: MmReg, src: MmReg) -> usize {
+        self.mmx_rr(MmxOp::Movq, dst, src)
+    }
+
+    /// `movq mm, [mem]`
+    pub fn movq_load(&mut self, dst: MmReg, addr: Mem) -> usize {
+        self.raw(Instr::MovqLoad { dst, addr })
+    }
+
+    /// `movq [mem], mm`
+    pub fn movq_store(&mut self, addr: Mem, src: MmReg) -> usize {
+        self.raw(Instr::MovqStore { addr, src })
+    }
+
+    /// `movd mm, [mem]`
+    pub fn movd_load(&mut self, dst: MmReg, addr: Mem) -> usize {
+        self.raw(Instr::MovdLoad { dst, addr })
+    }
+
+    /// `movd [mem], mm`
+    pub fn movd_store(&mut self, addr: Mem, src: MmReg) -> usize {
+        self.raw(Instr::MovdStore { addr, src })
+    }
+
+    /// `movd mm, r`
+    pub fn movd_to_mm(&mut self, dst: MmReg, src: GpReg) -> usize {
+        self.raw(Instr::MovdToMm { dst, src })
+    }
+
+    /// `movd r, mm`
+    pub fn movd_from_mm(&mut self, dst: GpReg, src: MmReg) -> usize {
+        self.raw(Instr::MovdFromMm { dst, src })
+    }
+
+    /// `emms`
+    pub fn emms(&mut self) -> usize {
+        self.raw(Instr::Emms)
+    }
+
+    // ---- Scalar forms ---------------------------------------------------
+
+    /// `op r, r`
+    pub fn alu_rr(&mut self, op: AluOp, dst: GpReg, src: GpReg) -> usize {
+        self.raw(Instr::Alu { op, dst, src: GpOperand::Reg(src) })
+    }
+
+    /// `op r, imm`
+    pub fn alu_ri(&mut self, op: AluOp, dst: GpReg, imm: i32) -> usize {
+        self.raw(Instr::Alu { op, dst, src: GpOperand::Imm(imm) })
+    }
+
+    /// `mov r, imm`
+    pub fn mov_ri(&mut self, dst: GpReg, imm: i32) -> usize {
+        self.alu_ri(AluOp::Mov, dst, imm)
+    }
+
+    /// `mov r, r`
+    pub fn mov_rr(&mut self, dst: GpReg, src: GpReg) -> usize {
+        self.alu_rr(AluOp::Mov, dst, src)
+    }
+
+    /// `mov r, [mem]` (32-bit load)
+    pub fn load(&mut self, dst: GpReg, addr: Mem) -> usize {
+        self.raw(Instr::Load { dst, addr })
+    }
+
+    /// `mov [mem], r` (32-bit store)
+    pub fn store(&mut self, addr: Mem, src: GpReg) -> usize {
+        self.raw(Instr::Store { addr, src })
+    }
+
+    /// `mov [mem], imm32`
+    pub fn store_imm(&mut self, addr: Mem, imm: u32) -> usize {
+        self.raw(Instr::StoreI { addr, imm })
+    }
+
+    /// 16-bit load with sign/zero extension.
+    pub fn load_w(&mut self, dst: GpReg, addr: Mem, signed: bool) -> usize {
+        self.raw(Instr::LoadW { dst, addr, signed })
+    }
+
+    /// 16-bit store.
+    pub fn store_w(&mut self, addr: Mem, src: GpReg) -> usize {
+        self.raw(Instr::StoreW { addr, src })
+    }
+
+    /// `lea r, [mem]`
+    pub fn lea(&mut self, dst: GpReg, addr: Mem) -> usize {
+        self.raw(Instr::Lea { dst, addr })
+    }
+
+    /// `cmp r, r`
+    pub fn cmp_rr(&mut self, a: GpReg, b: GpReg) -> usize {
+        self.raw(Instr::Cmp { a, b: GpOperand::Reg(b) })
+    }
+
+    /// `cmp r, imm`
+    pub fn cmp_ri(&mut self, a: GpReg, imm: i32) -> usize {
+        self.raw(Instr::Cmp { a, b: GpOperand::Imm(imm) })
+    }
+
+    /// `test r, r`
+    pub fn test_rr(&mut self, a: GpReg, b: GpReg) -> usize {
+        self.raw(Instr::Test { a, b: GpOperand::Reg(b) })
+    }
+
+    /// `jmp label`
+    pub fn jmp(&mut self, target: Label) -> usize {
+        self.raw(Instr::Jmp { target })
+    }
+
+    /// `jcc label`
+    pub fn jcc(&mut self, cond: Cond, target: Label) -> usize {
+        self.raw(Instr::Jcc { cond, target })
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> usize {
+        self.raw(Instr::Nop)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> usize {
+        self.raw(Instr::Halt)
+    }
+
+    /// Finish and validate.
+    pub fn finish(self) -> Result<Program, ProgramError> {
+        let p = self.finish_unchecked();
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Finish without validation (for negative tests).
+    pub fn finish_unchecked(self) -> Program {
+        Program {
+            name: self.name,
+            instrs: self.instrs,
+            label_pos: self.label_pos,
+            label_names: self.label_names,
+            loops: self.loops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::gp::*;
+    use crate::reg::MmReg::*;
+
+    #[test]
+    fn forward_labels() {
+        let mut b = ProgramBuilder::new("fwd");
+        let end = b.new_label("end");
+        b.jmp(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.resolve(p.find_label("end").unwrap()), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("dbl");
+        let l = b.bind_here("l");
+        b.nop();
+        b.bind(l);
+    }
+
+    #[test]
+    fn nested_loop_metadata() {
+        let mut b = ProgramBuilder::new("nest");
+        b.mov_ri(R0, 4);
+        let outer = b.bind_here("outer");
+        b.mov_ri(R1, 8);
+        let inner = b.bind_here("inner");
+        b.mmx_rr(MmxOp::Paddw, MM0, MM1);
+        b.alu_ri(AluOp::Sub, R1, 1);
+        b.jcc(Cond::Ne, inner);
+        b.mark_loop(inner, Some(8));
+        b.alu_ri(AluOp::Sub, R0, 1);
+        b.jcc(Cond::Ne, outer);
+        b.mark_loop(outer, Some(4));
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.loops.len(), 2);
+        // instruction 3 (paddw) is inside both; innermost is the inner loop.
+        let inner_loop = p.innermost_loop_at(3).unwrap();
+        assert_eq!(inner_loop.trip_count, Some(8));
+        assert_eq!(inner_loop.body_len(), 3);
+        // instruction 6 (outer sub) is only inside the outer loop.
+        let outer_loop = p.innermost_loop_at(6).unwrap();
+        assert_eq!(outer_loop.trip_count, Some(4));
+    }
+
+    #[test]
+    fn builder_emits_expected_instrs() {
+        let mut b = ProgramBuilder::new("mix");
+        b.movq_load(MM0, Mem::base(R0));
+        b.mmx_ri(MmxOp::Psrlq, MM0, 32);
+        b.store_imm(Mem::abs(0x100), 0xdead_beef);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.instrs[0], Instr::MovqLoad { dst: MM0, addr: Mem::base(R0) });
+        assert_eq!(
+            p.instrs[1],
+            Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) }
+        );
+        assert_eq!(p.instrs[2], Instr::StoreI { addr: Mem::abs(0x100), imm: 0xdead_beef });
+    }
+}

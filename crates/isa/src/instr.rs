@@ -1,0 +1,397 @@
+//! The instruction type and its structural/classification queries.
+
+use crate::mem::Mem;
+use crate::op::{AluOp, Cond, MmxOp};
+use crate::program::Label;
+use crate::reg::{GpReg, MmReg};
+use std::fmt;
+
+/// Source operand of a two-operand MMX instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MmxOperand {
+    /// MMX register.
+    Reg(MmReg),
+    /// 64-bit memory operand.
+    Mem(Mem),
+    /// Immediate shift count (only legal for shift operations).
+    Imm(u8),
+}
+
+/// Source operand of a scalar ALU instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GpOperand {
+    /// Scalar register.
+    Reg(GpReg),
+    /// 32-bit immediate.
+    Imm(i32),
+}
+
+/// A register reference (either file), used for hazard detection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegRef {
+    /// MMX register.
+    Mm(MmReg),
+    /// Scalar register.
+    Gp(GpReg),
+}
+
+/// One machine instruction.
+///
+/// The encoding is deliberately close to Pentium-MMX assembly:
+/// two-operand MMX ops, explicit 64-bit MMX loads/stores, scalar ALU ops,
+/// and label-targeted branches. `Halt` is a simulator convenience marking
+/// normal program termination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `op mm, (mm|mem|imm)` — two-operand MMX computation.
+    Mmx { op: MmxOp, dst: MmReg, src: MmxOperand },
+    /// `movq mm, [mem]` — 64-bit MMX load.
+    MovqLoad { dst: MmReg, addr: Mem },
+    /// `movq [mem], mm` — 64-bit MMX store.
+    MovqStore { addr: Mem, src: MmReg },
+    /// `movd mm, [mem]` — 32-bit load, zero-extended into the low dword.
+    MovdLoad { dst: MmReg, addr: Mem },
+    /// `movd [mem], mm` — store low 32 bits.
+    MovdStore { addr: Mem, src: MmReg },
+    /// `movd mm, r` — GP → MMX transfer (zero-extended).
+    MovdToMm { dst: MmReg, src: GpReg },
+    /// `movd r, mm` — MMX → GP transfer (low 32 bits).
+    MovdFromMm { dst: GpReg, src: MmReg },
+    /// `emms` — leave MMX state (modelled as a 1-cycle marker).
+    Emms,
+    /// `op r, (r|imm)` — scalar ALU computation.
+    Alu { op: AluOp, dst: GpReg, src: GpOperand },
+    /// `mov r, [mem]` — 32-bit scalar load.
+    Load { dst: GpReg, addr: Mem },
+    /// `mov [mem], r` — 32-bit scalar store.
+    Store { addr: Mem, src: GpReg },
+    /// `mov [mem], imm32` — store-immediate (used heavily by the SPU
+    /// memory-mapped setup sequences).
+    StoreI { addr: Mem, imm: u32 },
+    /// 16-bit scalar load, sign- or zero-extended.
+    LoadW { dst: GpReg, addr: Mem, signed: bool },
+    /// 16-bit scalar store (low half of the register).
+    StoreW { addr: Mem, src: GpReg },
+    /// `lea r, [mem]` — address computation without memory access.
+    Lea { dst: GpReg, addr: Mem },
+    /// `cmp a, b` — set flags from `a - b`.
+    Cmp { a: GpReg, b: GpOperand },
+    /// `test a, b` — set flags from `a & b`.
+    Test { a: GpReg, b: GpOperand },
+    /// Unconditional jump.
+    Jmp { target: Label },
+    /// Conditional jump.
+    Jcc { cond: Cond, target: Label },
+    /// No-operation.
+    Nop,
+    /// Normal program termination (simulator marker).
+    Halt,
+}
+
+impl Instr {
+    /// True for anything executed by the MMX unit (including MMX memory
+    /// moves and `emms`).
+    pub fn is_mmx(&self) -> bool {
+        matches!(
+            self,
+            Instr::Mmx { .. }
+                | Instr::MovqLoad { .. }
+                | Instr::MovqStore { .. }
+                | Instr::MovdLoad { .. }
+                | Instr::MovdStore { .. }
+                | Instr::MovdToMm { .. }
+                | Instr::MovdFromMm { .. }
+                | Instr::Emms
+        )
+    }
+
+    /// True if this instruction touches memory (forced into the U pipe).
+    pub fn is_mem_access(&self) -> bool {
+        self.mem_operand().is_some()
+    }
+
+    /// The memory operand, if any.
+    pub fn mem_operand(&self) -> Option<&Mem> {
+        match self {
+            Instr::Mmx { src: MmxOperand::Mem(m), .. } => Some(m),
+            Instr::MovqLoad { addr, .. }
+            | Instr::MovqStore { addr, .. }
+            | Instr::MovdLoad { addr, .. }
+            | Instr::MovdStore { addr, .. }
+            | Instr::Load { addr, .. }
+            | Instr::Store { addr, .. }
+            | Instr::StoreI { addr, .. }
+            | Instr::LoadW { addr, .. }
+            | Instr::StoreW { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// True for memory-writing instructions.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Instr::MovqStore { .. }
+                | Instr::MovdStore { .. }
+                | Instr::Store { .. }
+                | Instr::StoreI { .. }
+                | Instr::StoreW { .. }
+        )
+    }
+
+    /// True for memory-reading instructions.
+    pub fn is_load(&self) -> bool {
+        self.is_mem_access() && !self.is_store()
+    }
+
+    /// True for MMX multiplies (single multiplier pairing rule, 3-cycle
+    /// latency).
+    pub fn is_mmx_multiply(&self) -> bool {
+        matches!(self, Instr::Mmx { op, .. } if op.is_multiply())
+    }
+
+    /// True for MMX shifter-class ops (single shifter pairing rule).
+    pub fn is_mmx_shifter(&self) -> bool {
+        matches!(self, Instr::Mmx { op, .. } if op.is_shifter_class())
+    }
+
+    /// True for MMX realignment instructions — the pack/unpack/byte-shift
+    /// and register-move data-movement class the SPU can off-load.
+    pub fn is_realignment(&self) -> bool {
+        matches!(self, Instr::Mmx { op, src: MmxOperand::Reg(_) | MmxOperand::Imm(_), .. }
+            if op.is_realignment_class())
+    }
+
+    /// True for scalar multiplies (long latency, unpairable).
+    pub fn is_scalar_multiply(&self) -> bool {
+        matches!(self, Instr::Alu { op: AluOp::Imul, .. })
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Jmp { .. } | Instr::Jcc { .. })
+    }
+
+    /// Branch target label, if any.
+    pub fn branch_target(&self) -> Option<Label> {
+        match self {
+            Instr::Jmp { target } | Instr::Jcc { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// True if this instruction is an MMX instruction whose **register
+    /// source operands** can be routed by the SPU interconnect (i.e. it
+    /// reads MMX register state that flows to a functional unit or to a
+    /// store port).
+    pub fn spu_routable(&self) -> bool {
+        matches!(
+            self,
+            Instr::Mmx { .. } | Instr::MovqStore { .. } | Instr::MovdStore { .. } | Instr::MovdFromMm { .. }
+        )
+    }
+
+    /// Registers read by this instruction (excluding address registers,
+    /// which are returned by [`Instr::mem_operand`]'s `regs()`).
+    ///
+    /// For two-operand forms, the destination is also a source (x86
+    /// read-modify-write), except for pure moves and loads.
+    pub fn reads(&self) -> Vec<RegRef> {
+        let mut v = Vec::with_capacity(3);
+        match self {
+            Instr::Mmx { op, dst, src } => {
+                // movq dst, src does not read dst.
+                if !matches!(op, MmxOp::Movq) {
+                    v.push(RegRef::Mm(*dst));
+                }
+                if let MmxOperand::Reg(r) = src {
+                    v.push(RegRef::Mm(*r));
+                }
+            }
+            Instr::MovqStore { src, .. } | Instr::MovdStore { src, .. } => {
+                v.push(RegRef::Mm(*src));
+            }
+            Instr::MovdToMm { src, .. } => v.push(RegRef::Gp(*src)),
+            Instr::MovdFromMm { src, .. } => v.push(RegRef::Mm(*src)),
+            Instr::Alu { op, dst, src } => {
+                if !matches!(op, AluOp::Mov) {
+                    v.push(RegRef::Gp(*dst));
+                }
+                if let GpOperand::Reg(r) = src {
+                    v.push(RegRef::Gp(*r));
+                }
+            }
+            Instr::Store { src, .. } | Instr::StoreW { src, .. } => v.push(RegRef::Gp(*src)),
+            Instr::Cmp { a, b } | Instr::Test { a, b } => {
+                v.push(RegRef::Gp(*a));
+                if let GpOperand::Reg(r) = b {
+                    v.push(RegRef::Gp(*r));
+                }
+            }
+            _ => {}
+        }
+        // Address registers are also read.
+        if let Some(m) = self.mem_operand() {
+            for r in m.regs() {
+                v.push(RegRef::Gp(r));
+            }
+        }
+        if let Instr::Lea { addr, .. } = self {
+            for r in addr.regs() {
+                v.push(RegRef::Gp(r));
+            }
+        }
+        v
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn writes(&self) -> Option<RegRef> {
+        match self {
+            Instr::Mmx { dst, .. }
+            | Instr::MovqLoad { dst, .. }
+            | Instr::MovdLoad { dst, .. }
+            | Instr::MovdToMm { dst, .. } => Some(RegRef::Mm(*dst)),
+            Instr::Alu { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::LoadW { dst, .. }
+            | Instr::Lea { dst, .. }
+            | Instr::MovdFromMm { dst, .. } => Some(RegRef::Gp(*dst)),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction writes the flags register.
+    pub fn writes_flags(&self) -> bool {
+        matches!(self, Instr::Cmp { .. } | Instr::Test { .. })
+            || matches!(self, Instr::Alu { op, .. } if op.sets_flags())
+    }
+
+    /// True if the instruction reads the flags register.
+    pub fn reads_flags(&self) -> bool {
+        matches!(self, Instr::Jcc { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mmx { op, dst, src } => match src {
+                MmxOperand::Reg(r) => write!(f, "{op} {dst}, {r}"),
+                MmxOperand::Mem(m) => write!(f, "{op} {dst}, {m}"),
+                MmxOperand::Imm(i) => write!(f, "{op} {dst}, {i}"),
+            },
+            Instr::MovqLoad { dst, addr } => write!(f, "movq {dst}, {addr}"),
+            Instr::MovqStore { addr, src } => write!(f, "movq {addr}, {src}"),
+            Instr::MovdLoad { dst, addr } => write!(f, "movd {dst}, {addr}"),
+            Instr::MovdStore { addr, src } => write!(f, "movd {addr}, {src}"),
+            Instr::MovdToMm { dst, src } => write!(f, "movd {dst}, {src}"),
+            Instr::MovdFromMm { dst, src } => write!(f, "movd {dst}, {src}"),
+            Instr::Emms => write!(f, "emms"),
+            Instr::Alu { op, dst, src } => match src {
+                GpOperand::Reg(r) => write!(f, "{op} {dst}, {r}"),
+                GpOperand::Imm(i) => write!(f, "{op} {dst}, {i}"),
+            },
+            Instr::Load { dst, addr } => write!(f, "mov {dst}, {addr}"),
+            Instr::Store { addr, src } => write!(f, "mov {addr}, {src}"),
+            Instr::StoreI { addr, imm } => write!(f, "mov {addr}, {imm}"),
+            Instr::LoadW { dst, addr, signed } => {
+                write!(f, "{} {dst}, {addr}", if *signed { "movsx" } else { "movzx" })
+            }
+            Instr::StoreW { addr, src } => write!(f, "movw {addr}, {src}"),
+            Instr::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Instr::Cmp { a, b } => match b {
+                GpOperand::Reg(r) => write!(f, "cmp {a}, {r}"),
+                GpOperand::Imm(i) => write!(f, "cmp {a}, {i}"),
+            },
+            Instr::Test { a, b } => match b {
+                GpOperand::Reg(r) => write!(f, "test {a}, {r}"),
+                GpOperand::Imm(i) => write!(f, "test {a}, {i}"),
+            },
+            Instr::Jmp { target } => write!(f, "jmp L{}", target.0),
+            Instr::Jcc { cond, target } => write!(f, "{cond} L{}", target.0),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::gp::*;
+    use crate::reg::MmReg::*;
+
+    #[test]
+    fn classification_mmx() {
+        let i = Instr::Mmx { op: MmxOp::Pmaddwd, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert!(i.is_mmx());
+        assert!(i.is_mmx_multiply());
+        assert!(!i.is_mmx_shifter());
+        assert!(!i.is_mem_access());
+
+        let u = Instr::Mmx { op: MmxOp::Punpcklwd, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert!(u.is_mmx_shifter());
+        assert!(u.is_realignment());
+
+        let ld = Instr::MovqLoad { dst: MM2, addr: Mem::base(R0) };
+        assert!(ld.is_mmx() && ld.is_mem_access() && ld.is_load() && !ld.is_store());
+
+        let st = Instr::MovqStore { addr: Mem::base(R0), src: MM2 };
+        assert!(st.is_store() && st.spu_routable());
+    }
+
+    #[test]
+    fn realignment_requires_register_or_imm_source() {
+        // A pack with a memory source cannot be lifted to SPU routing
+        // (its data never sits in the register file).
+        let m = Instr::Mmx { op: MmxOp::Packssdw, dst: MM0, src: MmxOperand::Mem(Mem::base(R0)) };
+        assert!(!m.is_realignment());
+        let r = Instr::Mmx { op: MmxOp::Packssdw, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert!(r.is_realignment());
+        let s = Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) };
+        assert!(s.is_realignment());
+    }
+
+    #[test]
+    fn reads_writes_two_operand_semantics() {
+        let i = Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert_eq!(i.reads(), vec![RegRef::Mm(MM0), RegRef::Mm(MM1)]);
+        assert_eq!(i.writes(), Some(RegRef::Mm(MM0)));
+
+        // movq does not read its destination.
+        let mv = Instr::Mmx { op: MmxOp::Movq, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert_eq!(mv.reads(), vec![RegRef::Mm(MM1)]);
+
+        // mov r, imm reads nothing.
+        let li = Instr::Alu { op: AluOp::Mov, dst: R3, src: GpOperand::Imm(7) };
+        assert!(li.reads().is_empty());
+        assert_eq!(li.writes(), Some(RegRef::Gp(R3)));
+
+        // Address registers count as reads.
+        let ld = Instr::MovqLoad { dst: MM1, addr: Mem::bisd(R0, R1, 8, 0) };
+        assert_eq!(ld.reads(), vec![RegRef::Gp(R0), RegRef::Gp(R1)]);
+
+        let lea = Instr::Lea { dst: R2, addr: Mem::bisd(R0, R1, 4, 4) };
+        assert_eq!(lea.reads(), vec![RegRef::Gp(R0), RegRef::Gp(R1)]);
+        assert!(!lea.is_mem_access());
+    }
+
+    #[test]
+    fn flags_tracking() {
+        assert!(Instr::Cmp { a: R0, b: GpOperand::Imm(0) }.writes_flags());
+        assert!(Instr::Alu { op: AluOp::Sub, dst: R0, src: GpOperand::Imm(1) }.writes_flags());
+        assert!(!Instr::Alu { op: AluOp::Mov, dst: R0, src: GpOperand::Imm(1) }.writes_flags());
+        assert!(Instr::Jcc { cond: Cond::Ne, target: Label(0) }.reads_flags());
+        assert!(!Instr::Jmp { target: Label(0) }.reads_flags());
+    }
+
+    #[test]
+    fn display_spot_checks() {
+        let i = Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert_eq!(i.to_string(), "paddw mm0, mm1");
+        let s = Instr::Mmx { op: MmxOp::Psllq, dst: MM3, src: MmxOperand::Imm(16) };
+        assert_eq!(s.to_string(), "psllq mm3, 16");
+        let st = Instr::MovqStore { addr: Mem::base_disp(R2, 8), src: MM7 };
+        assert_eq!(st.to_string(), "movq [r2+8], mm7");
+    }
+}

@@ -1,0 +1,48 @@
+//! # subword-isa
+//!
+//! Instruction-set definitions for the reproduction of *"Efficient
+//! Orchestration of Sub-Word Parallelism in Media Processors"* (Oliver,
+//! Akella, Chong — SPAA 2004).
+//!
+//! This crate models the software-visible side of a Pentium-with-MMX class
+//! media processor:
+//!
+//! * [`reg`] — the eight 64-bit `MM` registers and a simplified 32-bit
+//!   general-purpose scalar register file.
+//! * [`lane`] — sub-word lane views (8/16/32/64-bit) over 64-bit vectors.
+//! * [`op`] — the MMX operation set (packed arithmetic, saturating
+//!   arithmetic, multiply, multiply-add, logical, compare, shift, pack,
+//!   unpack) and the scalar ALU operation set, together with the
+//!   classification predicates the pipeline model and the SPU compiler rely
+//!   on (multiplier class, shifter class, realignment class).
+//! * [`semantics`] — bit-exact evaluation of every MMX operation.
+//! * [`instr`] — the instruction type: two-operand MMX instructions, MMX
+//!   loads/stores, scalar ALU/memory/control-flow instructions.
+//! * [`program`] — programs as instruction vectors with resolved labels and
+//!   loop metadata (used by the SPU micro-code synthesiser).
+//! * [`builder`] — an ergonomic assembler-style builder DSL.
+//! * [`asm`] — a text assembler and disassembler.
+//! * [`encode`] — an approximate x86-style binary size model used for the
+//!   code-size accounting the paper motivates.
+//!
+//! Lane convention: lane index 0 is the **least-significant** sub-word, which
+//! matches the right-to-left drawing convention of the paper's figures.
+
+pub mod asm;
+pub mod builder;
+pub mod encode;
+pub mod instr;
+pub mod lane;
+pub mod mem;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+
+pub use builder::ProgramBuilder;
+pub use instr::{GpOperand, Instr, MmxOperand, RegRef};
+pub use lane::Lane;
+pub use mem::Mem;
+pub use op::{AluOp, Cond, MmxOp};
+pub use program::{Label, LoopInfo, Program, ProgramError};
+pub use reg::{GpReg, MmReg};

@@ -1,0 +1,144 @@
+//! Memory operand addressing.
+
+use crate::reg::GpReg;
+use std::fmt;
+
+/// An x86-style memory operand: `[base + index*scale + disp]`.
+///
+/// Effective addresses are computed in 32-bit wrapping arithmetic, matching
+/// the Pentium-era flat 32-bit address space the paper's machine uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<GpReg>,
+    /// Scaled index register, if any. Scale must be 1, 2, 4 or 8.
+    pub index: Option<(GpReg, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[base]`
+    pub const fn base(r: GpReg) -> Mem {
+        Mem { base: Some(r), index: None, disp: 0 }
+    }
+
+    /// `[base + disp]`
+    pub const fn base_disp(r: GpReg, disp: i32) -> Mem {
+        Mem { base: Some(r), index: None, disp }
+    }
+
+    /// `[disp]` (absolute address).
+    pub const fn abs(disp: u32) -> Mem {
+        Mem { base: None, index: None, disp: disp as i32 }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub const fn bisd(base: GpReg, index: GpReg, scale: u8, disp: i32) -> Mem {
+        Mem { base: Some(base), index: Some((index, scale)), disp }
+    }
+
+    /// `[index*scale + disp]`
+    pub const fn isd(index: GpReg, scale: u8, disp: i32) -> Mem {
+        Mem { base: None, index: Some((index, scale)), disp }
+    }
+
+    /// True if the scale factor is one of the encodable values.
+    pub fn scale_valid(&self) -> bool {
+        match self.index {
+            None => true,
+            Some((_, s)) => matches!(s, 1 | 2 | 4 | 8),
+        }
+    }
+
+    /// Registers read when computing the effective address.
+    pub fn regs(&self) -> impl Iterator<Item = GpReg> + '_ {
+        self.base
+            .into_iter()
+            .chain(self.index.map(|(r, _)| r))
+    }
+
+    /// Compute the effective address given a register-read callback.
+    #[inline]
+    pub fn effective<F: Fn(GpReg) -> u32>(&self, read: F) -> u32 {
+        let mut a = self.disp as u32;
+        if let Some(b) = self.base {
+            a = a.wrapping_add(read(b));
+        }
+        if let Some((i, s)) = self.index {
+            a = a.wrapping_add(read(i).wrapping_mul(s as u32));
+        }
+        a
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some((i, s)) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{s}")?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "{}", self.disp as u32)?;
+            } else if self.disp > 0 {
+                write!(f, "+{}", self.disp)?;
+            } else {
+                write!(f, "{}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::gp::*;
+
+    #[test]
+    fn effective_address_forms() {
+        let read = |r: GpReg| match r.index() {
+            0 => 0x1000u32,
+            1 => 3,
+            _ => 0,
+        };
+        assert_eq!(Mem::base(R0).effective(read), 0x1000);
+        assert_eq!(Mem::base_disp(R0, 8).effective(read), 0x1008);
+        assert_eq!(Mem::base_disp(R0, -8).effective(read), 0x0ff8);
+        assert_eq!(Mem::abs(0x42).effective(read), 0x42);
+        assert_eq!(Mem::bisd(R0, R1, 8, 4).effective(read), 0x1000 + 24 + 4);
+        assert_eq!(Mem::isd(R1, 2, 0).effective(read), 6);
+    }
+
+    #[test]
+    fn wrapping_address_arithmetic() {
+        let read = |_: GpReg| u32::MAX;
+        assert_eq!(Mem::base_disp(R0, 1).effective(read), 0);
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert!(Mem::bisd(R0, R1, 4, 0).scale_valid());
+        assert!(!Mem::bisd(R0, R1, 3, 0).scale_valid());
+        assert!(Mem::base(R0).scale_valid());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Mem::base(R0).to_string(), "[r0]");
+        assert_eq!(Mem::base_disp(R0, 8).to_string(), "[r0+8]");
+        assert_eq!(Mem::base_disp(R0, -8).to_string(), "[r0-8]");
+        assert_eq!(Mem::abs(64).to_string(), "[64]");
+        assert_eq!(Mem::bisd(R0, R1, 2, 4).to_string(), "[r0+r1*2+4]");
+    }
+}

@@ -1,0 +1,542 @@
+//! Operation sets and the classification predicates used by the pipeline
+//! model (pairing rules) and the SPU compiler (realignment detection).
+
+use crate::lane::Lane;
+use std::fmt;
+
+/// Every two-operand MMX operation (`dst = op(dst, src)`).
+///
+/// This is the full MMX arithmetic/logical/shift/pack set of the Pentium
+/// "P55C" described in the paper's §2 (Peleg & Weiser, IEEE Micro 1996).
+/// Loads/stores and `movd` transfers are separate instruction forms; see
+/// [`crate::instr::Instr`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MmxOp {
+    // Wrapping packed add/subtract.
+    Paddb,
+    Paddw,
+    Paddd,
+    Psubb,
+    Psubw,
+    Psubd,
+    // Saturating signed add/subtract.
+    Paddsb,
+    Paddsw,
+    Psubsb,
+    Psubsw,
+    // Saturating unsigned add/subtract.
+    Paddusb,
+    Paddusw,
+    Psubusb,
+    Psubusw,
+    // Multiplies (three-cycle latency on the P55C).
+    /// Packed multiply, low 16 bits of each signed 16×16 product.
+    Pmullw,
+    /// Packed multiply, high 16 bits of each signed 16×16 product.
+    Pmulhw,
+    /// Packed multiply-add: pairs of 16×16 products summed into 32-bit lanes
+    /// (paper Figure 1).
+    Pmaddwd,
+    // Logical.
+    Pand,
+    Pandn,
+    Por,
+    Pxor,
+    // Compares (all-ones / all-zeros masks).
+    Pcmpeqb,
+    Pcmpeqw,
+    Pcmpeqd,
+    Pcmpgtb,
+    Pcmpgtw,
+    Pcmpgtd,
+    // Shifts. The shift count comes from the source operand (register low
+    // 64 bits, or an immediate form).
+    Psllw,
+    Pslld,
+    Psllq,
+    Psrlw,
+    Psrld,
+    Psrlq,
+    Psraw,
+    Psrad,
+    // Packs with saturation (paper §2: "vital to ensure proper data
+    // alignment").
+    Packsswb,
+    Packssdw,
+    Packuswb,
+    // Unpack/merge (paper Figure 2).
+    Punpcklbw,
+    Punpcklwd,
+    Punpckldq,
+    Punpckhbw,
+    Punpckhwd,
+    Punpckhdq,
+    /// Register-to-register move, `movq mm, mm`.
+    Movq,
+}
+
+impl MmxOp {
+    /// All operations, for exhaustive testing.
+    pub const ALL: [MmxOp; 45] = [
+        MmxOp::Paddb,
+        MmxOp::Paddw,
+        MmxOp::Paddd,
+        MmxOp::Psubb,
+        MmxOp::Psubw,
+        MmxOp::Psubd,
+        MmxOp::Paddsb,
+        MmxOp::Paddsw,
+        MmxOp::Psubsb,
+        MmxOp::Psubsw,
+        MmxOp::Paddusb,
+        MmxOp::Paddusw,
+        MmxOp::Psubusb,
+        MmxOp::Psubusw,
+        MmxOp::Pmullw,
+        MmxOp::Pmulhw,
+        MmxOp::Pmaddwd,
+        MmxOp::Pand,
+        MmxOp::Pandn,
+        MmxOp::Por,
+        MmxOp::Pxor,
+        MmxOp::Pcmpeqb,
+        MmxOp::Pcmpeqw,
+        MmxOp::Pcmpeqd,
+        MmxOp::Pcmpgtb,
+        MmxOp::Pcmpgtw,
+        MmxOp::Pcmpgtd,
+        MmxOp::Psllw,
+        MmxOp::Pslld,
+        MmxOp::Psllq,
+        MmxOp::Psrlw,
+        MmxOp::Psrld,
+        MmxOp::Psrlq,
+        MmxOp::Psraw,
+        MmxOp::Psrad,
+        MmxOp::Packsswb,
+        MmxOp::Packssdw,
+        MmxOp::Packuswb,
+        MmxOp::Punpcklbw,
+        MmxOp::Punpcklwd,
+        MmxOp::Punpckldq,
+        MmxOp::Punpckhbw,
+        MmxOp::Punpckhwd,
+        MmxOp::Punpckhdq,
+        MmxOp::Movq,
+    ];
+
+    /// True for the three multiply operations. The P55C has a single MMX
+    /// multiplier, so at most one of these can issue per cycle, with a
+    /// three-cycle (pipelined) latency — paper §2.
+    #[inline]
+    pub fn is_multiply(self) -> bool {
+        matches!(self, MmxOp::Pmullw | MmxOp::Pmulhw | MmxOp::Pmaddwd)
+    }
+
+    /// True for shift, pack and unpack operations: the P55C has a single
+    /// shifter unit, so at most one of these can issue per cycle ("only one
+    /// instruction can be a permutation or shift instruction" — paper §2).
+    #[inline]
+    pub fn is_shifter_class(self) -> bool {
+        self.is_shift() || self.is_pack() || self.is_unpack()
+    }
+
+    /// True for the eight shift operations.
+    #[inline]
+    pub fn is_shift(self) -> bool {
+        matches!(
+            self,
+            MmxOp::Psllw
+                | MmxOp::Pslld
+                | MmxOp::Psllq
+                | MmxOp::Psrlw
+                | MmxOp::Psrld
+                | MmxOp::Psrlq
+                | MmxOp::Psraw
+                | MmxOp::Psrad
+        )
+    }
+
+    /// True for the three saturating pack operations.
+    #[inline]
+    pub fn is_pack(self) -> bool {
+        matches!(self, MmxOp::Packsswb | MmxOp::Packssdw | MmxOp::Packuswb)
+    }
+
+    /// True for the six unpack/merge operations.
+    #[inline]
+    pub fn is_unpack(self) -> bool {
+        matches!(
+            self,
+            MmxOp::Punpcklbw
+                | MmxOp::Punpcklwd
+                | MmxOp::Punpckldq
+                | MmxOp::Punpckhbw
+                | MmxOp::Punpckhwd
+                | MmxOp::Punpckhdq
+        )
+    }
+
+    /// True for operations whose only effect is to *move bytes around*
+    /// (no arithmetic on lane values): packs and unpacks, whole-register
+    /// byte shifts (`psllq`/`psrlq` by multiples of 8 in practice), and the
+    /// register move.
+    ///
+    /// This is the class the paper calls "data alignment"/"permutation"
+    /// instructions — the class the SPU can off-load. Note that packs do
+    /// saturate, so they are only *pure* realignment when their inputs are
+    /// in range; the SPU compiler checks that separately via value-range
+    /// provenance.
+    #[inline]
+    pub fn is_realignment_class(self) -> bool {
+        self.is_pack()
+            || self.is_unpack()
+            || matches!(self, MmxOp::Psllq | MmxOp::Psrlq | MmxOp::Movq)
+    }
+
+    /// Lane granularity the operation works at.
+    pub fn lane(self) -> Lane {
+        use MmxOp::*;
+        match self {
+            Paddb | Psubb | Paddsb | Psubsb | Paddusb | Psubusb | Pcmpeqb | Pcmpgtb
+            | Punpcklbw | Punpckhbw | Packsswb | Packuswb => Lane::B,
+            Paddw | Psubw | Paddsw | Psubsw | Paddusw | Psubusw | Pmullw | Pmulhw | Pcmpeqw
+            | Pcmpgtw | Psllw | Psrlw | Psraw | Punpcklwd | Punpckhwd | Packssdw => Lane::W,
+            Paddd | Psubd | Pmaddwd | Pcmpeqd | Pcmpgtd | Pslld | Psrld | Psrad | Punpckldq
+            | Punpckhdq => Lane::D,
+            Pand | Pandn | Por | Pxor | Psllq | Psrlq | Movq => Lane::Q,
+        }
+    }
+
+    /// True if an immediate shift-count source operand is legal for this op.
+    #[inline]
+    pub fn allows_imm_src(self) -> bool {
+        self.is_shift()
+    }
+
+    /// Mnemonic string (lower case).
+    pub fn mnemonic(self) -> &'static str {
+        use MmxOp::*;
+        match self {
+            Paddb => "paddb",
+            Paddw => "paddw",
+            Paddd => "paddd",
+            Psubb => "psubb",
+            Psubw => "psubw",
+            Psubd => "psubd",
+            Paddsb => "paddsb",
+            Paddsw => "paddsw",
+            Psubsb => "psubsb",
+            Psubsw => "psubsw",
+            Paddusb => "paddusb",
+            Paddusw => "paddusw",
+            Psubusb => "psubusb",
+            Psubusw => "psubusw",
+            Pmullw => "pmullw",
+            Pmulhw => "pmulhw",
+            Pmaddwd => "pmaddwd",
+            Pand => "pand",
+            Pandn => "pandn",
+            Por => "por",
+            Pxor => "pxor",
+            Pcmpeqb => "pcmpeqb",
+            Pcmpeqw => "pcmpeqw",
+            Pcmpeqd => "pcmpeqd",
+            Pcmpgtb => "pcmpgtb",
+            Pcmpgtw => "pcmpgtw",
+            Pcmpgtd => "pcmpgtd",
+            Psllw => "psllw",
+            Pslld => "pslld",
+            Psllq => "psllq",
+            Psrlw => "psrlw",
+            Psrld => "psrld",
+            Psrlq => "psrlq",
+            Psraw => "psraw",
+            Psrad => "psrad",
+            Packsswb => "packsswb",
+            Packssdw => "packssdw",
+            Packuswb => "packuswb",
+            Punpcklbw => "punpcklbw",
+            Punpcklwd => "punpcklwd",
+            Punpckldq => "punpckldq",
+            Punpckhbw => "punpckhbw",
+            Punpckhwd => "punpckhwd",
+            Punpckhdq => "punpckhdq",
+            Movq => "movq",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<MmxOp> {
+        MmxOp::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for MmxOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Scalar ALU operation (`dst = op(dst, src)`, 32-bit).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Plain move (`dst = src`).
+    Mov,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Signed multiply, low 32 bits. Long-latency, unpairable on the
+    /// Pentium (~9 cycles; see `subword-sim`'s machine configuration).
+    Imul,
+}
+
+impl AluOp {
+    /// All scalar ops, for exhaustive testing.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Mov,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Imul,
+    ];
+
+    /// Mnemonic string.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Mov => "mov",
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Imul => "imul",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<AluOp> {
+        AluOp::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+
+    /// True if the op updates ZF/SF (arithmetic & logic; `mov` does not).
+    #[inline]
+    pub fn sets_flags(self) -> bool {
+        !matches!(self, AluOp::Mov)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch condition codes (subset of x86 Jcc).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Equal / zero (ZF).
+    E,
+    /// Not equal / not zero (!ZF).
+    Ne,
+    /// Signed less (SF != OF).
+    L,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater.
+    G,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below (CF).
+    B,
+    /// Unsigned below-or-equal.
+    Be,
+    /// Unsigned above.
+    A,
+    /// Unsigned above-or-equal.
+    Ae,
+    /// Sign set.
+    S,
+    /// Sign clear.
+    Ns,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 12] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+    ];
+
+    /// Mnemonic suffix ("jz" style aliases normalise to these).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::E => "je",
+            Cond::Ne => "jne",
+            Cond::L => "jl",
+            Cond::Le => "jle",
+            Cond::G => "jg",
+            Cond::Ge => "jge",
+            Cond::B => "jb",
+            Cond::Be => "jbe",
+            Cond::A => "ja",
+            Cond::Ae => "jae",
+            Cond::S => "js",
+            Cond::Ns => "jns",
+        }
+    }
+
+    /// Parse a mnemonic, accepting `jz`/`jnz` aliases.
+    pub fn from_mnemonic(s: &str) -> Option<Cond> {
+        match s {
+            "jz" => return Some(Cond::E),
+            "jnz" => return Some(Cond::Ne),
+            _ => {}
+        }
+        Cond::ALL.iter().copied().find(|c| c.mnemonic() == s)
+    }
+
+    /// Evaluate against flags `(zf, sf, cf, of)`.
+    #[inline]
+    pub fn eval(self, zf: bool, sf: bool, cf: bool, of: bool) -> bool {
+        match self {
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::L => sf != of,
+            Cond::Le => zf || (sf != of),
+            Cond::G => !zf && (sf == of),
+            Cond::Ge => sf == of,
+            Cond::B => cf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::Ae => !cf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_class() {
+        assert!(MmxOp::Pmaddwd.is_multiply());
+        assert!(MmxOp::Pmullw.is_multiply());
+        assert!(MmxOp::Pmulhw.is_multiply());
+        assert!(!MmxOp::Paddw.is_multiply());
+        assert_eq!(MmxOp::ALL.iter().filter(|o| o.is_multiply()).count(), 3);
+    }
+
+    #[test]
+    fn shifter_class_covers_shift_pack_unpack() {
+        assert_eq!(
+            MmxOp::ALL.iter().filter(|o| o.is_shifter_class()).count(),
+            8 + 3 + 6
+        );
+        assert!(MmxOp::Punpckhwd.is_shifter_class());
+        assert!(MmxOp::Packssdw.is_shifter_class());
+        assert!(MmxOp::Psrlq.is_shifter_class());
+        assert!(!MmxOp::Pmaddwd.is_shifter_class());
+        assert!(!MmxOp::Movq.is_shifter_class());
+    }
+
+    #[test]
+    fn realignment_class() {
+        // packs(3) + unpacks(6) + psllq/psrlq(2) + movq(1)
+        assert_eq!(
+            MmxOp::ALL.iter().filter(|o| o.is_realignment_class()).count(),
+            12
+        );
+        assert!(MmxOp::Punpcklwd.is_realignment_class());
+        assert!(MmxOp::Psrlq.is_realignment_class());
+        assert!(!MmxOp::Psraw.is_realignment_class());
+        assert!(!MmxOp::Psrlw.is_realignment_class());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip_mmx() {
+        for op in MmxOp::ALL {
+            assert_eq!(MmxOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(MmxOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip_alu_cond() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_mnemonic(c.mnemonic()), Some(c));
+        }
+        assert_eq!(Cond::from_mnemonic("jz"), Some(Cond::E));
+        assert_eq!(Cond::from_mnemonic("jnz"), Some(Cond::Ne));
+    }
+
+    #[test]
+    fn imm_only_for_shifts() {
+        assert!(MmxOp::Psllq.allows_imm_src());
+        assert!(!MmxOp::Paddw.allows_imm_src());
+        assert!(!MmxOp::Punpcklwd.allows_imm_src());
+    }
+
+    #[test]
+    fn cond_eval_signed_unsigned() {
+        // 3 cmp 5: 3-5 = -2 => SF=1, OF=0, CF=1 (borrow), ZF=0
+        let (zf, sf, cf, of) = (false, true, true, false);
+        assert!(Cond::L.eval(zf, sf, cf, of));
+        assert!(Cond::B.eval(zf, sf, cf, of));
+        assert!(!Cond::G.eval(zf, sf, cf, of));
+        assert!(Cond::Ne.eval(zf, sf, cf, of));
+        // equality
+        let (zf, sf, cf, of) = (true, false, false, false);
+        assert!(Cond::E.eval(zf, sf, cf, of));
+        assert!(Cond::Le.eval(zf, sf, cf, of));
+        assert!(Cond::Ge.eval(zf, sf, cf, of));
+        assert!(Cond::Be.eval(zf, sf, cf, of));
+        assert!(!Cond::A.eval(zf, sf, cf, of));
+    }
+
+    #[test]
+    fn lane_assignment_spot_checks() {
+        assert_eq!(MmxOp::Paddb.lane(), Lane::B);
+        assert_eq!(MmxOp::Pmaddwd.lane(), Lane::D);
+        assert_eq!(MmxOp::Pmullw.lane(), Lane::W);
+        assert_eq!(MmxOp::Psllq.lane(), Lane::Q);
+        assert_eq!(MmxOp::Packssdw.lane(), Lane::W);
+    }
+}

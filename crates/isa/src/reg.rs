@@ -1,0 +1,164 @@
+//! Register names for the MMX and scalar register files.
+
+use std::fmt;
+
+/// One of the eight 64-bit MMX registers (`MM0`–`MM7`).
+///
+/// On the real Pentium these alias the x87 floating-point stack; the paper's
+/// SPU treats the eight registers as one unified 512-bit, byte-addressable
+/// *SPU register*, so the byte index space `0..64` (see
+/// [`MmReg::file_byte`]) is the address space of the SPU interconnect.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MmReg {
+    MM0,
+    MM1,
+    MM2,
+    MM3,
+    MM4,
+    MM5,
+    MM6,
+    MM7,
+}
+
+impl MmReg {
+    /// All eight registers in index order.
+    pub const ALL: [MmReg; 8] = [
+        MmReg::MM0,
+        MmReg::MM1,
+        MmReg::MM2,
+        MmReg::MM3,
+        MmReg::MM4,
+        MmReg::MM5,
+        MmReg::MM6,
+        MmReg::MM7,
+    ];
+
+    /// Register number `0..8`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from a register number; `None` if out of range.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<MmReg> {
+        if i < 8 {
+            Some(Self::ALL[i])
+        } else {
+            None
+        }
+    }
+
+    /// Byte address of this register's byte `b` (`0..8`) inside the unified
+    /// 64-byte SPU register file view.
+    #[inline]
+    pub const fn file_byte(self, b: usize) -> usize {
+        self.index() * 8 + b
+    }
+}
+
+impl fmt::Display for MmReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mm{}", self.index())
+    }
+}
+
+/// A simplified 32-bit general-purpose scalar register (`r0`–`r15`).
+///
+/// The Pentium's scalar side only matters to the evaluation through loop
+/// control, addressing, and the scalar-dominated kernels (IIR, FFT); a flat
+/// sixteen-register file keeps kernels readable without changing any of the
+/// measured quantities (the pairing rules treat all scalar ALU instructions
+/// alike).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GpReg(pub u8);
+
+impl GpReg {
+    /// Number of scalar registers.
+    pub const COUNT: usize = 16;
+
+    /// Register number `0..16`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a register number; `None` if out of range.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<GpReg> {
+        if i < Self::COUNT {
+            Some(GpReg(i as u8))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for GpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Convenience constants `R0`–`R15`.
+pub mod gp {
+    use super::GpReg;
+    pub const R0: GpReg = GpReg(0);
+    pub const R1: GpReg = GpReg(1);
+    pub const R2: GpReg = GpReg(2);
+    pub const R3: GpReg = GpReg(3);
+    pub const R4: GpReg = GpReg(4);
+    pub const R5: GpReg = GpReg(5);
+    pub const R6: GpReg = GpReg(6);
+    pub const R7: GpReg = GpReg(7);
+    pub const R8: GpReg = GpReg(8);
+    pub const R9: GpReg = GpReg(9);
+    pub const R10: GpReg = GpReg(10);
+    pub const R11: GpReg = GpReg(11);
+    pub const R12: GpReg = GpReg(12);
+    pub const R13: GpReg = GpReg(13);
+    pub const R14: GpReg = GpReg(14);
+    pub const R15: GpReg = GpReg(15);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_reg_roundtrip() {
+        for (i, r) in MmReg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(MmReg::from_index(i), Some(*r));
+        }
+        assert_eq!(MmReg::from_index(8), None);
+    }
+
+    #[test]
+    fn mm_file_bytes_cover_unified_register() {
+        // The eight registers tile the 64-byte SPU register exactly once.
+        let mut seen = [false; 64];
+        for r in MmReg::ALL {
+            for b in 0..8 {
+                let fb = r.file_byte(b);
+                assert!(!seen[fb]);
+                seen[fb] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gp_reg_roundtrip() {
+        for i in 0..GpReg::COUNT {
+            assert_eq!(GpReg::from_index(i).unwrap().index(), i);
+        }
+        assert_eq!(GpReg::from_index(16), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MmReg::MM5.to_string(), "mm5");
+        assert_eq!(GpReg(3).to_string(), "r3");
+    }
+}

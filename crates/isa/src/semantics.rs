@@ -1,0 +1,606 @@
+//! Bit-exact evaluation of every MMX operation.
+//!
+//! Each function is a pure map `(dst, src) -> result` on 64-bit packed
+//! values; [`eval`] dispatches on [`MmxOp`]. Shift operations take the
+//! shift count in `src` (as the real instructions do for the register form;
+//! the immediate form feeds the immediate through the same path).
+//!
+//! The semantics follow the Intel Architecture Software Developer's Manual
+//! definitions of the MMX instructions referenced by the paper (Peleg &
+//! Weiser, IEEE Micro 1996): wrapping adds, signed/unsigned saturation,
+//! signed 16×16 multiplies, `pmaddwd` pair-summing (paper Figure 1),
+//! interleaving unpacks (paper Figure 2) and saturating packs.
+
+use crate::lane::{
+    bytes_of, dwords_of, from_bytes, from_dwords, from_ibytes, from_idwords, from_iwords,
+    from_words, ibytes_of, idwords_of, iwords_of, words_of,
+};
+use crate::op::MmxOp;
+
+#[inline]
+fn sat_i8(x: i32) -> i8 {
+    x.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+}
+
+#[inline]
+fn sat_u8(x: i32) -> u8 {
+    x.clamp(0, u8::MAX as i32) as u8
+}
+
+#[inline]
+fn sat_i16(x: i32) -> i16 {
+    x.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+}
+
+#[inline]
+fn sat_u16(x: i32) -> u16 {
+    x.clamp(0, u16::MAX as i32) as u16
+}
+
+macro_rules! lanewise {
+    ($split:ident, $join:ident, $a:expr, $b:expr, $f:expr) => {{
+        let (a, b) = ($split($a), $split($b));
+        let mut out = a;
+        for i in 0..a.len() {
+            out[i] = $f(a[i], b[i]);
+        }
+        $join(out)
+    }};
+}
+
+/// `paddb` — wrapping packed byte add.
+pub fn paddb(d: u64, s: u64) -> u64 {
+    lanewise!(bytes_of, from_bytes, d, s, |a: u8, b: u8| a.wrapping_add(b))
+}
+
+/// `paddw` — wrapping packed word add.
+pub fn paddw(d: u64, s: u64) -> u64 {
+    lanewise!(words_of, from_words, d, s, |a: u16, b: u16| a.wrapping_add(b))
+}
+
+/// `paddd` — wrapping packed double-word add (paper Figure 1, lower half).
+pub fn paddd(d: u64, s: u64) -> u64 {
+    lanewise!(dwords_of, from_dwords, d, s, |a: u32, b: u32| a.wrapping_add(b))
+}
+
+/// `psubb` — wrapping packed byte subtract.
+pub fn psubb(d: u64, s: u64) -> u64 {
+    lanewise!(bytes_of, from_bytes, d, s, |a: u8, b: u8| a.wrapping_sub(b))
+}
+
+/// `psubw` — wrapping packed word subtract.
+pub fn psubw(d: u64, s: u64) -> u64 {
+    lanewise!(words_of, from_words, d, s, |a: u16, b: u16| a.wrapping_sub(b))
+}
+
+/// `psubd` — wrapping packed double-word subtract.
+pub fn psubd(d: u64, s: u64) -> u64 {
+    lanewise!(dwords_of, from_dwords, d, s, |a: u32, b: u32| a.wrapping_sub(b))
+}
+
+/// `paddsb` — signed saturating byte add.
+pub fn paddsb(d: u64, s: u64) -> u64 {
+    lanewise!(ibytes_of, from_ibytes, d, s, |a: i8, b: i8| sat_i8(a as i32 + b as i32))
+}
+
+/// `paddsw` — signed saturating word add.
+pub fn paddsw(d: u64, s: u64) -> u64 {
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| sat_i16(a as i32 + b as i32))
+}
+
+/// `psubsb` — signed saturating byte subtract.
+pub fn psubsb(d: u64, s: u64) -> u64 {
+    lanewise!(ibytes_of, from_ibytes, d, s, |a: i8, b: i8| sat_i8(a as i32 - b as i32))
+}
+
+/// `psubsw` — signed saturating word subtract.
+pub fn psubsw(d: u64, s: u64) -> u64 {
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| sat_i16(a as i32 - b as i32))
+}
+
+/// `paddusb` — unsigned saturating byte add.
+pub fn paddusb(d: u64, s: u64) -> u64 {
+    lanewise!(bytes_of, from_bytes, d, s, |a: u8, b: u8| sat_u8(a as i32 + b as i32))
+}
+
+/// `paddusw` — unsigned saturating word add.
+pub fn paddusw(d: u64, s: u64) -> u64 {
+    lanewise!(words_of, from_words, d, s, |a: u16, b: u16| sat_u16(a as i32 + b as i32))
+}
+
+/// `psubusb` — unsigned saturating byte subtract.
+pub fn psubusb(d: u64, s: u64) -> u64 {
+    lanewise!(bytes_of, from_bytes, d, s, |a: u8, b: u8| sat_u8(a as i32 - b as i32))
+}
+
+/// `psubusw` — unsigned saturating word subtract.
+pub fn psubusw(d: u64, s: u64) -> u64 {
+    lanewise!(words_of, from_words, d, s, |a: u16, b: u16| sat_u16(a as i32 - b as i32))
+}
+
+/// `pmullw` — low 16 bits of each signed 16×16 product.
+pub fn pmullw(d: u64, s: u64) -> u64 {
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| (a as i32 * b as i32) as i16)
+}
+
+/// `pmulhw` — high 16 bits of each signed 16×16 product.
+pub fn pmulhw(d: u64, s: u64) -> u64 {
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| ((a as i32 * b as i32) >> 16)
+        as i16)
+}
+
+/// `pmaddwd` — multiply packed signed words, add adjacent 32-bit products
+/// (paper Figure 1): `dst.d0 = d.w0*s.w0 + d.w1*s.w1`,
+/// `dst.d1 = d.w2*s.w2 + d.w3*s.w3`.
+pub fn pmaddwd(d: u64, s: u64) -> u64 {
+    let a = iwords_of(d);
+    let b = iwords_of(s);
+    let lo = (a[0] as i32).wrapping_mul(b[0] as i32).wrapping_add((a[1] as i32) * b[1] as i32);
+    let hi = (a[2] as i32).wrapping_mul(b[2] as i32).wrapping_add((a[3] as i32) * b[3] as i32);
+    from_idwords([lo, hi])
+}
+
+/// `pand` — bitwise and.
+pub fn pand(d: u64, s: u64) -> u64 {
+    d & s
+}
+
+/// `pandn` — and-not: `(!d) & s` (note x86 operand order).
+pub fn pandn(d: u64, s: u64) -> u64 {
+    !d & s
+}
+
+/// `por` — bitwise or.
+pub fn por(d: u64, s: u64) -> u64 {
+    d | s
+}
+
+/// `pxor` — bitwise xor.
+pub fn pxor(d: u64, s: u64) -> u64 {
+    d ^ s
+}
+
+#[inline]
+fn mask_all<T: Eq>(a: T, b: T) -> bool {
+    a == b
+}
+
+/// `pcmpeqb` — byte equality masks.
+pub fn pcmpeqb(d: u64, s: u64) -> u64 {
+    lanewise!(bytes_of, from_bytes, d, s, |a, b| if mask_all(a, b) { 0xffu8 } else { 0 })
+}
+
+/// `pcmpeqw` — word equality masks.
+pub fn pcmpeqw(d: u64, s: u64) -> u64 {
+    lanewise!(words_of, from_words, d, s, |a, b| if mask_all(a, b) { 0xffffu16 } else { 0 })
+}
+
+/// `pcmpeqd` — double-word equality masks.
+pub fn pcmpeqd(d: u64, s: u64) -> u64 {
+    lanewise!(dwords_of, from_dwords, d, s, |a, b| if mask_all(a, b) {
+        0xffff_ffffu32
+    } else {
+        0
+    })
+}
+
+/// `pcmpgtb` — signed byte greater-than masks.
+pub fn pcmpgtb(d: u64, s: u64) -> u64 {
+    lanewise!(ibytes_of, from_ibytes, d, s, |a: i8, b: i8| if a > b { -1i8 } else { 0 })
+}
+
+/// `pcmpgtw` — signed word greater-than masks.
+pub fn pcmpgtw(d: u64, s: u64) -> u64 {
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| if a > b { -1i16 } else { 0 })
+}
+
+/// `pcmpgtd` — signed double-word greater-than masks.
+pub fn pcmpgtd(d: u64, s: u64) -> u64 {
+    lanewise!(idwords_of, from_idwords, d, s, |a: i32, b: i32| if a > b { -1i32 } else { 0 })
+}
+
+/// `psllw` — shift words left; counts ≥ 16 clear the register.
+pub fn psllw(d: u64, count: u64) -> u64 {
+    if count >= 16 {
+        return 0;
+    }
+    lanewise!(words_of, from_words, d, 0, |a: u16, _| a << count)
+}
+
+/// `pslld` — shift double-words left; counts ≥ 32 clear the register.
+pub fn pslld(d: u64, count: u64) -> u64 {
+    if count >= 32 {
+        return 0;
+    }
+    lanewise!(dwords_of, from_dwords, d, 0, |a: u32, _| a << count)
+}
+
+/// `psllq` — shift the whole quad-word left; counts ≥ 64 clear the register.
+pub fn psllq(d: u64, count: u64) -> u64 {
+    if count >= 64 {
+        0
+    } else {
+        d << count
+    }
+}
+
+/// `psrlw` — logical shift words right; counts ≥ 16 clear the register.
+pub fn psrlw(d: u64, count: u64) -> u64 {
+    if count >= 16 {
+        return 0;
+    }
+    lanewise!(words_of, from_words, d, 0, |a: u16, _| a >> count)
+}
+
+/// `psrld` — logical shift double-words right; counts ≥ 32 clear.
+pub fn psrld(d: u64, count: u64) -> u64 {
+    if count >= 32 {
+        return 0;
+    }
+    lanewise!(dwords_of, from_dwords, d, 0, |a: u32, _| a >> count)
+}
+
+/// `psrlq` — logical shift the quad-word right; counts ≥ 64 clear.
+pub fn psrlq(d: u64, count: u64) -> u64 {
+    if count >= 64 {
+        0
+    } else {
+        d >> count
+    }
+}
+
+/// `psraw` — arithmetic shift words right; counts ≥ 16 fill with sign.
+pub fn psraw(d: u64, count: u64) -> u64 {
+    let c = count.min(15) as u32;
+    lanewise!(iwords_of, from_iwords, d, 0, |a: i16, _| a >> c)
+}
+
+/// `psrad` — arithmetic shift double-words right; counts ≥ 32 fill with sign.
+pub fn psrad(d: u64, count: u64) -> u64 {
+    let c = count.min(31) as u32;
+    lanewise!(idwords_of, from_idwords, d, 0, |a: i32, _| a >> c)
+}
+
+/// `packsswb` — pack 8 words (4 from `d`, low half; 4 from `s`, high half)
+/// into bytes with signed saturation.
+pub fn packsswb(d: u64, s: u64) -> u64 {
+    let a = iwords_of(d);
+    let b = iwords_of(s);
+    let mut out = [0i8; 8];
+    for i in 0..4 {
+        out[i] = sat_i8(a[i] as i32);
+        out[i + 4] = sat_i8(b[i] as i32);
+    }
+    from_ibytes(out)
+}
+
+/// `packssdw` — pack 4 double-words into words with signed saturation.
+pub fn packssdw(d: u64, s: u64) -> u64 {
+    let a = idwords_of(d);
+    let b = idwords_of(s);
+    from_iwords([sat_i16(a[0]), sat_i16(a[1]), sat_i16(b[0]), sat_i16(b[1])])
+}
+
+/// `packuswb` — pack 8 signed words into unsigned bytes with saturation.
+pub fn packuswb(d: u64, s: u64) -> u64 {
+    let a = iwords_of(d);
+    let b = iwords_of(s);
+    let mut out = [0u8; 8];
+    for i in 0..4 {
+        out[i] = sat_u8(a[i] as i32);
+        out[i + 4] = sat_u8(b[i] as i32);
+    }
+    from_bytes(out)
+}
+
+/// `punpcklbw` — interleave the low 4 bytes: `[d0 s0 d1 s1 d2 s2 d3 s3]`.
+pub fn punpcklbw(d: u64, s: u64) -> u64 {
+    let a = bytes_of(d);
+    let b = bytes_of(s);
+    from_bytes([a[0], b[0], a[1], b[1], a[2], b[2], a[3], b[3]])
+}
+
+/// `punpckhbw` — interleave the high 4 bytes.
+pub fn punpckhbw(d: u64, s: u64) -> u64 {
+    let a = bytes_of(d);
+    let b = bytes_of(s);
+    from_bytes([a[4], b[4], a[5], b[5], a[6], b[6], a[7], b[7]])
+}
+
+/// `punpcklwd` — interleave the low 2 words: `[d0 s0 d1 s1]` (paper Figure 2).
+pub fn punpcklwd(d: u64, s: u64) -> u64 {
+    let a = words_of(d);
+    let b = words_of(s);
+    from_words([a[0], b[0], a[1], b[1]])
+}
+
+/// `punpckhwd` — interleave the high 2 words: `[d2 s2 d3 s3]`.
+pub fn punpckhwd(d: u64, s: u64) -> u64 {
+    let a = words_of(d);
+    let b = words_of(s);
+    from_words([a[2], b[2], a[3], b[3]])
+}
+
+/// `punpckldq` — interleave the low double-words: `[d0 s0]`.
+pub fn punpckldq(d: u64, s: u64) -> u64 {
+    let a = dwords_of(d);
+    let b = dwords_of(s);
+    from_dwords([a[0], b[0]])
+}
+
+/// `punpckhdq` — interleave the high double-words: `[d1 s1]`.
+pub fn punpckhdq(d: u64, s: u64) -> u64 {
+    let a = dwords_of(d);
+    let b = dwords_of(s);
+    from_dwords([a[1], b[1]])
+}
+
+/// Evaluate `op` on `(dst, src)`. For shifts, `src` is the count.
+pub fn eval(op: MmxOp, dst: u64, src: u64) -> u64 {
+    use MmxOp::*;
+    match op {
+        Paddb => paddb(dst, src),
+        Paddw => paddw(dst, src),
+        Paddd => paddd(dst, src),
+        Psubb => psubb(dst, src),
+        Psubw => psubw(dst, src),
+        Psubd => psubd(dst, src),
+        Paddsb => paddsb(dst, src),
+        Paddsw => paddsw(dst, src),
+        Psubsb => psubsb(dst, src),
+        Psubsw => psubsw(dst, src),
+        Paddusb => paddusb(dst, src),
+        Paddusw => paddusw(dst, src),
+        Psubusb => psubusb(dst, src),
+        Psubusw => psubusw(dst, src),
+        Pmullw => pmullw(dst, src),
+        Pmulhw => pmulhw(dst, src),
+        Pmaddwd => pmaddwd(dst, src),
+        Pand => pand(dst, src),
+        Pandn => pandn(dst, src),
+        Por => por(dst, src),
+        Pxor => pxor(dst, src),
+        Pcmpeqb => pcmpeqb(dst, src),
+        Pcmpeqw => pcmpeqw(dst, src),
+        Pcmpeqd => pcmpeqd(dst, src),
+        Pcmpgtb => pcmpgtb(dst, src),
+        Pcmpgtw => pcmpgtw(dst, src),
+        Pcmpgtd => pcmpgtd(dst, src),
+        Psllw => psllw(dst, src),
+        Pslld => pslld(dst, src),
+        Psllq => psllq(dst, src),
+        Psrlw => psrlw(dst, src),
+        Psrld => psrld(dst, src),
+        Psrlq => psrlq(dst, src),
+        Psraw => psraw(dst, src),
+        Psrad => psrad(dst, src),
+        Packsswb => packsswb(dst, src),
+        Packssdw => packssdw(dst, src),
+        Packuswb => packuswb(dst, src),
+        Punpcklbw => punpcklbw(dst, src),
+        Punpcklwd => punpcklwd(dst, src),
+        Punpckldq => punpckldq(dst, src),
+        Punpckhbw => punpckhbw(dst, src),
+        Punpckhwd => punpckhwd(dst, src),
+        Punpckhdq => punpckhdq(dst, src),
+        Movq => src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 1: `pmaddwd mm0, mm1` forms two 32-bit sums of products,
+    /// then `paddd` completes the four-tap FIR sum-of-products.
+    #[test]
+    fn figure1_pmaddwd_paddd_four_tap_fir() {
+        // MM0 = [x0, x-1, x-2, x-3] (lane 0 = x0), MM1 = [c0, c1, c2, c3].
+        let x = [100i16, -200, 300, -400];
+        let c = [3i16, 5, -7, 9];
+        let mm0 = from_iwords(x);
+        let mm1 = from_iwords(c);
+        let prod = pmaddwd(mm0, mm1);
+        let lo = (x[0] as i32) * (c[0] as i32) + (x[1] as i32) * (c[1] as i32);
+        let hi = (x[2] as i32) * (c[2] as i32) + (x[3] as i32) * (c[3] as i32);
+        assert_eq!(idwords_of(prod), [lo, hi]);
+        // paddd with the upper sum shifted down completes the FIR sum.
+        let folded = paddd(prod, psrlq(prod, 32));
+        assert_eq!(idwords_of(folded)[0], lo + hi);
+    }
+
+    /// Paper Figure 2: `punpcklwd MM0, MM1` interleaves the low words.
+    #[test]
+    fn figure2_unpack_low_words() {
+        // MM0 = [A0, B0, C0, D0] lane0=A0? Figure 2 draws registers as
+        // [D1 D0 | C1 C0 ...]; in lane terms: MM0 holds (A0,B0,C0,D0) with
+        // lane 0 = A0 is arbitrary naming — what matters is interleaving.
+        let mm0 = from_words([0xA0, 0xB0, 0xC0, 0xD0]);
+        let mm1 = from_words([0xA1, 0xB1, 0xC1, 0xD1]);
+        assert_eq!(words_of(punpcklwd(mm0, mm1)), [0xA0, 0xA1, 0xB0, 0xB1]);
+        assert_eq!(words_of(punpckhwd(mm0, mm1)), [0xC0, 0xC1, 0xD0, 0xD1]);
+    }
+
+    #[test]
+    fn wrapping_adds() {
+        assert_eq!(
+            iwords_of(paddw(from_iwords([i16::MAX, 0, -1, 5]), from_iwords([1, 0, -1, 5]))),
+            [i16::MIN, 0, -2, 10]
+        );
+        assert_eq!(bytes_of(paddb(from_bytes([0xff; 8]), from_bytes([1; 8]))), [0; 8]);
+        assert_eq!(
+            idwords_of(paddd(from_idwords([i32::MAX, -2]), from_idwords([1, -3]))),
+            [i32::MIN, -5]
+        );
+    }
+
+    #[test]
+    fn saturating_signed() {
+        assert_eq!(
+            iwords_of(paddsw(
+                from_iwords([i16::MAX, i16::MIN, 100, -100]),
+                from_iwords([1, -1, 50, -50])
+            )),
+            [i16::MAX, i16::MIN, 150, -150]
+        );
+        assert_eq!(
+            ibytes_of(psubsb(
+                from_ibytes([i8::MIN, i8::MAX, 0, 0, 0, 0, 0, 0]),
+                from_ibytes([1, -1, 0, 0, 0, 0, 0, 0])
+            ))[..2],
+            [i8::MIN, i8::MAX]
+        );
+    }
+
+    #[test]
+    fn saturating_unsigned() {
+        assert_eq!(
+            words_of(paddusw(from_words([0xffff, 0, 10, 20]), from_words([1, 0, 5, 7]))),
+            [0xffff, 0, 15, 27]
+        );
+        assert_eq!(
+            words_of(psubusw(from_words([5, 0xffff, 0, 3]), from_words([10, 1, 1, 3]))),
+            [0, 0xfffe, 0, 0]
+        );
+        assert_eq!(bytes_of(paddusb(from_bytes([250; 8]), from_bytes([10; 8]))), [255; 8]);
+        assert_eq!(bytes_of(psubusb(from_bytes([5; 8]), from_bytes([10; 8]))), [0; 8]);
+    }
+
+    #[test]
+    fn multiplies() {
+        let a = from_iwords([1000, -1000, i16::MAX, i16::MIN]);
+        let b = from_iwords([1000, 1000, 2, -1]);
+        // 1000*1000 = 0xF4240 -> low 0x4240, high 0xF.
+        assert_eq!(iwords_of(pmullw(a, b))[0], 0x4240u16 as i16);
+        assert_eq!(iwords_of(pmulhw(a, b))[0], 0xF);
+        assert_eq!(iwords_of(pmulhw(a, b))[1], (-1_000_000i32 >> 16) as i16);
+        // i16::MIN * -1 = 32768: pmullw keeps low 16 bits = 0x8000.
+        assert_eq!(iwords_of(pmullw(a, b))[3], i16::MIN);
+        assert_eq!(iwords_of(pmulhw(a, b))[3], 0);
+    }
+
+    #[test]
+    fn pmaddwd_worst_case_wraps_like_hardware() {
+        // The only pmaddwd overflow case: all four words = -32768 gives
+        // 2 * (2^30) = 2^31 which wraps to i32::MIN (documented behaviour).
+        let v = from_iwords([i16::MIN; 4]);
+        assert_eq!(idwords_of(pmaddwd(v, v)), [i32::MIN, i32::MIN]);
+    }
+
+    #[test]
+    fn logicals_and_pandn_operand_order() {
+        let a = 0xFF00_FF00_FF00_FF00u64;
+        let b = 0x0F0F_0F0F_0F0F_0F0Fu64;
+        assert_eq!(pand(a, b), a & b);
+        assert_eq!(por(a, b), a | b);
+        assert_eq!(pxor(a, a), 0);
+        // pandn: NOT(dst) AND src.
+        assert_eq!(pandn(a, b), !a & b);
+    }
+
+    #[test]
+    fn compares() {
+        let a = from_iwords([5, -5, 0, i16::MIN]);
+        let b = from_iwords([5, 5, -1, i16::MAX]);
+        assert_eq!(words_of(pcmpeqw(a, b)), [0xffff, 0, 0, 0]);
+        assert_eq!(words_of(pcmpgtw(a, b)), [0, 0, 0xffff, 0]);
+        let x = from_idwords([-1, 1]);
+        let y = from_idwords([-1, 0]);
+        assert_eq!(dwords_of(pcmpeqd(x, y)), [0xffff_ffff, 0]);
+        assert_eq!(dwords_of(pcmpgtd(x, y)), [0, 0xffff_ffff]);
+        let p = from_ibytes([1, 2, 3, 4, -1, -2, -3, -4]);
+        let q = from_ibytes([1, 1, 4, 4, 0, -2, -4, -3]);
+        assert_eq!(bytes_of(pcmpeqb(p, q)), [0xff, 0, 0, 0xff, 0, 0xff, 0, 0]);
+        assert_eq!(bytes_of(pcmpgtb(p, q)), [0, 0xff, 0, 0, 0, 0, 0xff, 0]);
+    }
+
+    #[test]
+    fn shifts_in_range() {
+        let v = from_words([0x8001, 0x4002, 0x2004, 0x1008]);
+        assert_eq!(words_of(psllw(v, 1)), [0x0002, 0x8004, 0x4008, 0x2010]);
+        assert_eq!(words_of(psrlw(v, 1)), [0x4000, 0x2001, 0x1002, 0x0804]);
+        assert_eq!(
+            iwords_of(psraw(from_iwords([-2, 2, -32768, 32767]), 1)),
+            [-1, 1, -16384, 16383]
+        );
+        let d = from_idwords([-8, 8]);
+        assert_eq!(idwords_of(psrad(d, 2)), [-2, 2]);
+        assert_eq!(idwords_of(pslld(d, 1)), [-16, 16]);
+        assert_eq!(dwords_of(psrld(from_dwords([0x8000_0000, 4]), 1)), [0x4000_0000, 2]);
+        assert_eq!(psllq(1, 63), 0x8000_0000_0000_0000);
+        assert_eq!(psrlq(0x8000_0000_0000_0000, 63), 1);
+    }
+
+    #[test]
+    fn shifts_oversized_counts() {
+        let v = 0xdead_beef_dead_beefu64;
+        assert_eq!(psllw(v, 16), 0);
+        assert_eq!(psrlw(v, 200), 0);
+        assert_eq!(pslld(v, 32), 0);
+        assert_eq!(psrld(v, 32), 0);
+        assert_eq!(psllq(v, 64), 0);
+        assert_eq!(psrlq(v, 64), 0);
+        // Arithmetic shifts saturate the count and keep the sign.
+        assert_eq!(iwords_of(psraw(from_iwords([-1, 1, -5, 5]), 99)), [-1, 0, -1, 0]);
+        assert_eq!(idwords_of(psrad(from_idwords([-7, 7]), 99)), [-1, 0]);
+    }
+
+    #[test]
+    fn packs_saturate() {
+        let d = from_iwords([300, -300, 5, -5]);
+        let s = from_iwords([127, -128, 200, -200]);
+        assert_eq!(
+            ibytes_of(packsswb(d, s)),
+            [127, -128, 5, -5, 127, -128, 127, -128]
+        );
+        assert_eq!(
+            bytes_of(packuswb(d, s)),
+            [255, 0, 5, 0, 127, 0, 200, 0]
+        );
+        let d = from_idwords([70000, -70000]);
+        let s = from_idwords([1234, -1]);
+        assert_eq!(iwords_of(packssdw(d, s)), [i16::MAX, i16::MIN, 1234, -1]);
+    }
+
+    #[test]
+    fn unpack_bytes_and_dwords() {
+        let a = from_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = from_bytes([10, 11, 12, 13, 14, 15, 16, 17]);
+        assert_eq!(bytes_of(punpcklbw(a, b)), [0, 10, 1, 11, 2, 12, 3, 13]);
+        assert_eq!(bytes_of(punpckhbw(a, b)), [4, 14, 5, 15, 6, 16, 7, 17]);
+        let x = from_dwords([0xAAAA_0000, 0xBBBB_1111]);
+        let y = from_dwords([0xCCCC_2222, 0xDDDD_3333]);
+        assert_eq!(dwords_of(punpckldq(x, y)), [0xAAAA_0000, 0xCCCC_2222]);
+        assert_eq!(dwords_of(punpckhdq(x, y)), [0xBBBB_1111, 0xDDDD_3333]);
+    }
+
+    /// Paper §2.1: the 2×2 determinant needs a sub-word swap before the
+    /// multiply because MMX has no non-bit-aligned multiply.
+    #[test]
+    fn section_2_1_determinant_swap() {
+        // MM0 = [a, b] as dwords... the example uses 32-bit values; MMX
+        // multiplies are 16-bit, so use 16-bit a,b,c,d in word lanes 0,1.
+        let (a, b, c, d) = (7i16, 3, 2, 5);
+        let mm0 = from_iwords([a, b, 0, 0]);
+        let mm1 = from_iwords([c, d, 0, 0]);
+        // Swap c,d via unpack-style shuffle: [d, c].
+        let w = iwords_of(mm1);
+        let swapped = from_iwords([w[1], w[0], 0, 0]);
+        // Products aligned: [a*d, b*c] then subtract lane1 from lane0.
+        let prod = pmullw(mm0, swapped);
+        let p = iwords_of(prod);
+        assert_eq!(p[0] - p[1], a * d - b * c);
+        assert_eq!(a * d - b * c, 29);
+    }
+
+    #[test]
+    fn eval_dispatch_matches_direct_calls() {
+        let d = 0x0123_4567_89ab_cdefu64;
+        let s = 0xfedc_ba98_7654_3210u64;
+        assert_eq!(eval(MmxOp::Paddw, d, s), paddw(d, s));
+        assert_eq!(eval(MmxOp::Pmaddwd, d, s), pmaddwd(d, s));
+        assert_eq!(eval(MmxOp::Punpckhdq, d, s), punpckhdq(d, s));
+        assert_eq!(eval(MmxOp::Psrlq, d, 8), psrlq(d, 8));
+        assert_eq!(eval(MmxOp::Movq, d, s), s);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the packed-arithmetic semantics: lane
+//! decomposition laws, saturation bounds, involutions, and assembler
+//! round-trips.
+
+use proptest::prelude::*;
+use subword_isa::asm::{assemble, disassemble};
+use subword_isa::lane::*;
+use subword_isa::op::MmxOp;
+use subword_isa::semantics as s;
+
+proptest! {
+    /// Every lane-parallel op equals its per-lane scalar model.
+    #[test]
+    fn lanewise_adds_match_scalar(a: u64, b: u64) {
+        let aw = iwords_of(a);
+        let bw = iwords_of(b);
+        prop_assert_eq!(
+            iwords_of(s::paddw(a, b)),
+            [
+                aw[0].wrapping_add(bw[0]),
+                aw[1].wrapping_add(bw[1]),
+                aw[2].wrapping_add(bw[2]),
+                aw[3].wrapping_add(bw[3])
+            ]
+        );
+        let ab = bytes_of(a);
+        let bb = bytes_of(b);
+        let rb = bytes_of(s::psubb(a, b));
+        for i in 0..8 {
+            prop_assert_eq!(rb[i], ab[i].wrapping_sub(bb[i]));
+        }
+    }
+
+    /// Saturating ops stay within lane bounds and agree with the wide
+    /// computation when it is in range.
+    #[test]
+    fn saturation_laws(a: u64, b: u64) {
+        let r = s::paddsw(a, b);
+        for (x, (p, q)) in iwords_of(r).into_iter().zip(iwords_of(a).into_iter().zip(iwords_of(b))) {
+            let wide = p as i32 + q as i32;
+            prop_assert_eq!(x as i32, wide.clamp(-32768, 32767));
+        }
+        let r = s::psubusb(a, b);
+        for (x, (p, q)) in bytes_of(r).into_iter().zip(bytes_of(a).into_iter().zip(bytes_of(b))) {
+            prop_assert_eq!(x as i32, (p as i32 - q as i32).max(0));
+        }
+    }
+
+    /// pmaddwd equals the two dword dot products.
+    #[test]
+    fn pmaddwd_law(a: u64, b: u64) {
+        let aw = iwords_of(a);
+        let bw = iwords_of(b);
+        let r = idwords_of(s::pmaddwd(a, b));
+        prop_assert_eq!(
+            r[0],
+            (aw[0] as i32).wrapping_mul(bw[0] as i32)
+                .wrapping_add((aw[1] as i32).wrapping_mul(bw[1] as i32))
+        );
+        prop_assert_eq!(
+            r[1],
+            (aw[2] as i32).wrapping_mul(bw[2] as i32)
+                .wrapping_add((aw[3] as i32).wrapping_mul(bw[3] as i32))
+        );
+    }
+
+    /// mullw/mulhw reassemble the full 32-bit product.
+    #[test]
+    fn mul_split_law(a: u64, b: u64) {
+        let lo = iwords_of(s::pmullw(a, b));
+        let hi = iwords_of(s::pmulhw(a, b));
+        for i in 0..4 {
+            let full = iwords_of(a)[i] as i32 * iwords_of(b)[i] as i32;
+            prop_assert_eq!(((hi[i] as i32) << 16) | (lo[i] as u16 as i32), full);
+        }
+    }
+
+    /// Unpack low/high together are a permutation: every input byte of
+    /// the interleavable halves appears exactly once.
+    #[test]
+    fn unpack_is_a_permutation(a: u64, b: u64) {
+        let lo = bytes_of(s::punpcklbw(a, b));
+        let hi = bytes_of(s::punpckhbw(a, b));
+        let mut all: Vec<u8> = lo.into_iter().chain(hi).collect();
+        let mut expect: Vec<u8> = bytes_of(a).into_iter().chain(bytes_of(b)).collect();
+        all.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Shifts by zero are identity; oversized logical shifts clear.
+    #[test]
+    fn shift_boundaries(a: u64, c in 0u64..=80) {
+        prop_assert_eq!(s::psllw(a, 0), a);
+        prop_assert_eq!(s::psrad(a, 0), a);
+        if c >= 16 {
+            prop_assert_eq!(s::psllw(a, c), 0);
+            prop_assert_eq!(s::psrlw(a, c), 0);
+        }
+        // Arithmetic shift preserves per-lane sign.
+        for (r, x) in iwords_of(s::psraw(a, c)).into_iter().zip(iwords_of(a)) {
+            prop_assert_eq!(r < 0, x < 0);
+        }
+    }
+
+    /// packssdw saturates exactly like the scalar clamp.
+    #[test]
+    fn pack_law(a: u64, b: u64) {
+        let r = iwords_of(s::packssdw(a, b));
+        let src = [idwords_of(a)[0], idwords_of(a)[1], idwords_of(b)[0], idwords_of(b)[1]];
+        for i in 0..4 {
+            prop_assert_eq!(r[i] as i32, src[i].clamp(-32768, 32767));
+        }
+    }
+
+    /// pandn is never "dst AND NOT src" (a classic implementation slip):
+    /// check against the definition on random data.
+    #[test]
+    fn pandn_operand_order(a: u64, b: u64) {
+        prop_assert_eq!(s::pandn(a, b), !a & b);
+    }
+
+    /// Assembler round-trip: every MMX reg-reg instruction survives
+    /// disassemble → assemble.
+    #[test]
+    fn asm_roundtrip_mmx(op_idx in 0usize..45, d in 0usize..8, r in 0usize..8) {
+        let op = MmxOp::ALL[op_idx];
+        let mut b = subword_isa::ProgramBuilder::new("rt");
+        b.mmx_rr(op, subword_isa::reg::MmReg::from_index(d).unwrap(),
+                 subword_isa::reg::MmReg::from_index(r).unwrap());
+        b.halt();
+        let p1 = b.finish().unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble("rt", &text).unwrap();
+        prop_assert_eq!(p1.instrs, p2.instrs);
+    }
+}

@@ -1,0 +1,265 @@
+//! Kernel framework: building, measuring and checking benchmark kernels.
+//!
+//! The paper's methodology (§5.2.1): run each IPP routine on the MMX,
+//! extract statistics, re-code it to use implicit SPU routings instead of
+//! permutation instructions, and re-run. Here the "re-coding" is the
+//! `subword-compile` lifting pass, and the statistics come from the
+//! simulator. Steady-state per-block numbers are extracted by running two
+//! different block counts and differencing, which cancels programming
+//! prologues and cold-predictor effects.
+
+use crate::paper::PaperRow;
+use subword_compile::{lift_permutes, CompileReport, TestSetup};
+use subword_isa::program::Program;
+use subword_sim::{Machine, MachineConfig, SimStats};
+use subword_spu::crossbar::CrossbarShape;
+
+/// A fully materialised kernel instance.
+pub struct KernelBuild {
+    /// The MMX-only program, parameterised by block count.
+    pub program: Program,
+    /// Memory/register initialisation and output ranges.
+    pub setup: TestSetup,
+    /// Golden outputs `(address, bytes)` computed by the scalar
+    /// reference.
+    pub expected: Vec<(u32, Vec<u8>)>,
+}
+
+impl KernelBuild {
+    /// Check a machine's memory against the golden outputs.
+    pub fn check(&self, m: &Machine, label: &str) -> Result<(), String> {
+        for (addr, bytes) in &self.expected {
+            let got = m
+                .mem
+                .read_bytes(*addr, bytes.len())
+                .map_err(|_| format!("{label}: expected range {addr:#x} out of bounds"))?;
+            if got != bytes.as_slice() {
+                let off = got.iter().zip(bytes).position(|(a, b)| a != b).unwrap();
+                return Err(format!(
+                    "{label}: mismatch at {:#x}+{off}: got {:#04x}, expected {:#04x}",
+                    addr, got[off], bytes[off]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A benchmark kernel.
+pub trait Kernel: Sync {
+    /// Name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Build the MMX-only program running `blocks` block invocations.
+    fn build(&self, blocks: u64) -> KernelBuild;
+
+    /// The published row, if this kernel appears in the paper's tables.
+    fn paper(&self) -> Option<&'static PaperRow> {
+        crate::paper::paper_row(self.name())
+    }
+}
+
+/// Steady-state per-block statistics for one variant.
+#[derive(Clone, Copy, Debug)]
+pub struct VariantStats {
+    /// Per-block steady-state counters.
+    pub per_block: SimStats,
+    /// Whole-run counters at the larger block count.
+    pub total: SimStats,
+}
+
+/// A complete paper-methodology measurement of one kernel.
+pub struct Measurement {
+    /// Kernel name.
+    pub name: &'static str,
+    /// MMX-only variant.
+    pub baseline: VariantStats,
+    /// MMX+SPU variant.
+    pub spu: VariantStats,
+    /// The lifting pass's report.
+    pub report: CompileReport,
+    /// Block counts used (small, large).
+    pub blocks: (u64, u64),
+}
+
+impl Measurement {
+    /// Per-block cycle speedup from the SPU.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.per_block.cycles as f64 / self.spu.per_block.cycles as f64
+    }
+
+    /// Percentage of cycles saved (how Figure 9 is usually read).
+    pub fn pct_cycles_saved(&self) -> f64 {
+        100.0 * (1.0 - self.spu.per_block.cycles as f64 / self.baseline.per_block.cycles as f64)
+    }
+
+    /// Off-loaded permutations per block (dynamic).
+    pub fn offloaded_per_block(&self) -> u64 {
+        self.baseline.per_block.mmx_realignments - self.spu.per_block.mmx_realignments
+    }
+
+    /// Off-loaded permutations as % of baseline MMX instructions —
+    /// Table 3's "% MMX Instr".
+    pub fn pct_mmx_instr(&self) -> f64 {
+        100.0 * self.offloaded_per_block() as f64
+            / self.baseline.per_block.mmx_instructions.max(1) as f64
+    }
+
+    /// Off-loaded permutations as % of total instructions — Table 3's
+    /// "Total Instr".
+    pub fn pct_total_instr(&self) -> f64 {
+        100.0 * self.offloaded_per_block() as f64
+            / self.baseline.per_block.instructions.max(1) as f64
+    }
+
+    /// Scale factor to print per-block numbers at the paper's magnitude
+    /// (the paper ran ~10^10 clocks per benchmark).
+    pub fn paper_scale(&self, paper: &PaperRow) -> f64 {
+        paper.clocks / self.baseline.per_block.cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_sim::SimStats;
+
+    fn meas(base: SimStats, spu: SimStats) -> Measurement {
+        Measurement {
+            name: "synthetic",
+            baseline: VariantStats { per_block: base, total: base },
+            spu: VariantStats { per_block: spu, total: spu },
+            report: CompileReport {
+                name: "synthetic".into(),
+                loops: vec![],
+                removed_static: 0,
+                setup_instructions: 0,
+            },
+            blocks: (1, 2),
+        }
+    }
+
+    #[test]
+    fn measurement_ratios() {
+        let base = SimStats {
+            cycles: 1000,
+            instructions: 1600,
+            mmx_instructions: 800,
+            mmx_realignments: 200,
+            ..Default::default()
+        };
+        let spu = SimStats {
+            cycles: 850,
+            instructions: 1450,
+            mmx_instructions: 650,
+            mmx_realignments: 50,
+            ..Default::default()
+        };
+        let m = meas(base, spu);
+        assert_eq!(m.offloaded_per_block(), 150);
+        assert!((m.speedup() - 1000.0 / 850.0).abs() < 1e-12);
+        assert!((m.pct_cycles_saved() - 15.0).abs() < 1e-9);
+        // Table 3 shares use the *baseline* populations.
+        assert!((m.pct_mmx_instr() - 100.0 * 150.0 / 800.0).abs() < 1e-9);
+        assert!((m.pct_total_instr() - 100.0 * 150.0 / 1600.0).abs() < 1e-9);
+        // Paper scaling produces the published clock magnitude.
+        let row = crate::paper::paper_row("DCT").unwrap();
+        let scale = m.paper_scale(row);
+        assert!((1000.0 * scale - row.clocks).abs() / row.clocks < 1e-12);
+    }
+
+    #[test]
+    fn measurement_handles_zero_denominators() {
+        let m = meas(SimStats::default(), SimStats::default());
+        assert_eq!(m.offloaded_per_block(), 0);
+        assert_eq!(m.pct_mmx_instr(), 0.0);
+        assert_eq!(m.pct_total_instr(), 0.0);
+    }
+}
+
+/// Run one variant at one block count, checking outputs.
+fn run_checked(
+    build: &KernelBuild,
+    cfg: MachineConfig,
+    label: &str,
+) -> Result<SimStats, String> {
+    let mut m = Machine::new(cfg);
+    for (addr, bytes) in &build.setup.mem_init {
+        m.mem.write_bytes(*addr, bytes).map_err(|_| format!("{label}: init oob"))?;
+    }
+    for (r, v) in &build.setup.reg_init {
+        m.regs.write_gp(*r, *v);
+    }
+    for (r, v) in &build.setup.mm_init {
+        m.regs.write_mm(*r, *v);
+    }
+    let stats = m.run(&build.program).map_err(|e| format!("{label}: {e}"))?;
+    build.check(&m, label)?;
+    Ok(stats)
+}
+
+/// Measure a kernel with the paper's methodology: baseline and SPU
+/// variants at two block counts; steady-state = difference.
+pub fn measure(
+    kernel: &dyn Kernel,
+    blocks_small: u64,
+    blocks_large: u64,
+    shape: &CrossbarShape,
+) -> Result<Measurement, String> {
+    assert!(blocks_small < blocks_large);
+    let b_small = kernel.build(blocks_small);
+    let b_large = kernel.build(blocks_large);
+
+    let base_small = run_checked(&b_small, MachineConfig::mmx_only(), "baseline/small")?;
+    let base_large = run_checked(&b_large, MachineConfig::mmx_only(), "baseline/large")?;
+
+    let lifted_small = lift_permutes(&b_small.program, shape).map_err(|e| e.to_string())?;
+    let lifted_large = lift_permutes(&b_large.program, shape).map_err(|e| e.to_string())?;
+    let spu_build_small = KernelBuild {
+        program: lifted_small.program,
+        setup: b_small.setup.clone(),
+        expected: b_small.expected.clone(),
+    };
+    let spu_build_large = KernelBuild {
+        program: lifted_large.program,
+        setup: b_large.setup.clone(),
+        expected: b_large.expected.clone(),
+    };
+    let spu_small = run_checked(&spu_build_small, MachineConfig::with_spu(*shape), "spu/small")?;
+    let spu_large = run_checked(&spu_build_large, MachineConfig::with_spu(*shape), "spu/large")?;
+
+    let nblocks = blocks_large - blocks_small;
+    let scale = |s: SimStats| {
+        let mut d = s;
+        d.cycles /= nblocks;
+        d.instructions /= nblocks;
+        d.mmx_instructions /= nblocks;
+        d.scalar_instructions /= nblocks;
+        d.mmx_realignments /= nblocks;
+        d.mmx_multiplies /= nblocks;
+        d.scalar_multiplies /= nblocks;
+        d.branches /= nblocks;
+        d.mispredicts /= nblocks;
+        d.mispredict_cycles /= nblocks;
+        d.stall_cycles /= nblocks;
+        d.imul_block_cycles /= nblocks;
+        d.pairs /= nblocks;
+        d.singles /= nblocks;
+        d.mmx_active_cycles /= nblocks;
+        d.loads /= nblocks;
+        d.stores /= nblocks;
+        d.spu_routed /= nblocks;
+        d.spu_steps /= nblocks;
+        d.spu_activations /= nblocks;
+        d.mmio_accesses /= nblocks;
+        d
+    };
+
+    Ok(Measurement {
+        name: kernel.name(),
+        baseline: VariantStats { per_block: scale(base_large - base_small), total: base_large },
+        spu: VariantStats { per_block: scale(spu_large - spu_small), total: spu_large },
+        report: lifted_large.report,
+        blocks: (blocks_small, blocks_large),
+    })
+}

@@ -1,0 +1,43 @@
+//! # subword-kernels
+//!
+//! The paper's evaluation workloads: the eight Intel IPP media routines of
+//! Figure 9 / Tables 2–3, re-implemented as hand-tuned MMX assembly for
+//! the `subword-sim` machine, plus the Figure 5 dot-product running
+//! example.
+//!
+//! Every kernel provides
+//!
+//! * a **scalar golden reference** in plain Rust ([`refimpl`]) with
+//!   bit-exact fixed-point semantics,
+//! * an **MMX-only program** following the documented IPP idioms
+//!   (coefficient replication in the FIRs, scalar recurrences in the IIR,
+//!   scalar butterflies in the FFTs, `pmaddwd`-based matrix kernels,
+//!   Figure 3 unpack networks in the transpose),
+//! * and, through `subword-compile`'s automatic lifting pass, an
+//!   **MMX+SPU variant** whose realignment instructions are folded into
+//!   SPU routings — the paper's §5.2.1 methodology ("each of the
+//!   algorithms is re-coded to avoid utilizing the permutation
+//!   instructions that can be addressed by the SPU unit").
+//!
+//! [`suite`] assembles the Figure 9 benchmark list and [`paper`] records
+//! the published Table 2/3 numbers for paper-vs-measured reporting.
+//! [`measure`] runs the four simulations (baseline/SPU × two block
+//! counts) that extract steady-state per-block statistics.
+
+pub mod fixed;
+pub mod framework;
+pub mod k_dct;
+pub mod k_dotprod;
+pub mod k_fft;
+pub mod k_fir;
+pub mod k_iir;
+pub mod k_matmul;
+pub mod k_transpose;
+pub mod paper;
+pub mod refimpl;
+pub mod suite;
+pub mod workload;
+
+pub use framework::{measure, Kernel, KernelBuild, Measurement, VariantStats};
+pub use paper::PaperRow;
+pub use suite::{paper_suite, SuiteEntry};

@@ -1,0 +1,380 @@
+//! Scalar golden references.
+//!
+//! Each function defines the **bit-exact** arithmetic its assembly kernel
+//! must reproduce: i32 intermediate precision, arithmetic right-shift
+//! rescaling, truncating 16-bit stores. The assembly implementations are
+//! verified against these on every test run, for both the MMX-only and
+//! the MMX+SPU variants.
+
+use crate::fixed::madd4;
+
+/// FIR filter: `y[n] = (Σ_{k<taps} c[k]·x[n−k]) >> 15`, zero history.
+pub fn fir(x: &[i16], c: &[i16]) -> Vec<i16> {
+    (0..x.len())
+        .map(|n| {
+            let mut acc = 0i32;
+            for (k, &ck) in c.iter().enumerate() {
+                if n >= k {
+                    acc = acc.wrapping_add(ck as i32 * x[n - k] as i32);
+                }
+            }
+            (acc >> 15) as i16
+        })
+        .collect()
+}
+
+/// Direct-form I IIR: `y[n] = ((Σ b_k·x[n−k]) + (Σ na_k·y[n−k])) >> 15`
+/// with `na` the *negated* feedback coefficients and zero initial state.
+///
+/// The recurrence is computed in i32 exactly as the scalar assembly does.
+pub fn iir(x: &[i16], b: &[i16], na: &[i16]) -> Vec<i16> {
+    let mut y = vec![0i16; x.len()];
+    for n in 0..x.len() {
+        let mut acc = 0i32;
+        for (k, &bk) in b.iter().enumerate() {
+            if n >= k {
+                acc = acc.wrapping_add(bk as i32 * x[n - k] as i32);
+            }
+        }
+        for (k, &ak) in na.iter().enumerate() {
+            let k = k + 1;
+            if n >= k {
+                acc = acc.wrapping_add(ak as i32 * y[n - k] as i32);
+            }
+        }
+        y[n] = (acc >> 15) as i16;
+    }
+    y
+}
+
+/// Q15 twiddle factors for a forward `n`-point FFT: `(wr, wi)` pairs for
+/// `j = 0..n/2`, `w = e^{-2πij/n}` scaled by 32767.
+pub fn twiddles(n: usize) -> Vec<(i16, i16)> {
+    (0..n / 2)
+        .map(|j| {
+            let a = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+            (
+                crate::fixed::to_q15(a.cos() * 32767.0 / 32768.0),
+                crate::fixed::to_q15(-a.sin() * 32767.0 / 32768.0),
+            )
+        })
+        .collect()
+}
+
+/// Bit-reversed index table for an `n`-point FFT.
+pub fn bit_reverse_table(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect()
+}
+
+/// Fixed-point radix-2 DIT FFT with per-stage `>>1` scaling, applied to a
+/// real i16 input (imaginary parts start at zero). Returns interleaved
+/// `(re, im)` i16 pairs — the exact contents of the assembly kernel's
+/// work buffer.
+///
+/// Butterflies: `t = (w·b) >> 15` (i32), outputs `(u ± t) >> 1` truncated
+/// to i16 — value ranges are bounded by the input amplitude, which the
+/// workloads keep at ≤ 4000 so no truncation ever loses bits.
+pub fn fft_q15(x: &[i16]) -> Vec<(i16, i16)> {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    let br = bit_reverse_table(n);
+    let tw = twiddles(n);
+    let mut w: Vec<(i16, i16)> = vec![(0, 0); n];
+    for (i, &xi) in x.iter().enumerate() {
+        w[br[i] as usize] = (xi, 0);
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let tstep = n / len;
+        let mut k = 0;
+        while k < n {
+            for j in 0..half {
+                let (wr, wi) = tw[j * tstep];
+                let (ur, ui) = w[k + j];
+                let (br_, bi) = w[k + j + half];
+                let tr = ((wr as i32 * br_ as i32) - (wi as i32 * bi as i32)) >> 15;
+                let ti = ((wr as i32 * bi as i32) + (wi as i32 * br_ as i32)) >> 15;
+                w[k + j] = (
+                    ((ur as i32 + tr) >> 1) as i16,
+                    ((ui as i32 + ti) >> 1) as i16,
+                );
+                w[k + j + half] = (
+                    ((ur as i32 - tr) >> 1) as i16,
+                    ((ui as i32 - ti) >> 1) as i16,
+                );
+            }
+            k += len;
+        }
+        len *= 2;
+    }
+    w
+}
+
+/// De-interleave an FFT work buffer into separate re/im arrays (the MMX
+/// post-pass the kernel performs).
+pub fn deinterleave(w: &[(i16, i16)]) -> (Vec<i16>, Vec<i16>) {
+    (w.iter().map(|p| p.0).collect(), w.iter().map(|p| p.1).collect())
+}
+
+/// Q13 coefficient matrix for the 8-point DCT-II:
+/// `C[u][i] = round(8192 · α(u)/2 · cos((2i+1)uπ/16))`, `α(0)=1/√2`,
+/// `α(u>0)=1`.
+pub fn dct8_coefficients() -> [[i16; 8]; 8] {
+    let mut c = [[0i16; 8]; 8];
+    for (u, row) in c.iter_mut().enumerate() {
+        let alpha = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+        for (i, v) in row.iter_mut().enumerate() {
+            let angle = (2 * i + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (8192.0 * 0.5 * alpha * angle.cos()).round() as i16;
+        }
+    }
+    c
+}
+
+/// One 1-D 8-point DCT pass: `y[u] = (Σ_i x[i]·C[u][i]) >> 13`, with the
+/// sum formed pmaddwd-style (two 4-element groups).
+pub fn dct8_pass(x: &[i16; 8], c: &[[i16; 8]; 8]) -> [i16; 8] {
+    std::array::from_fn(|u| {
+        let lo = madd4(&x[0..4], &c[u][0..4]);
+        let hi = madd4(&x[4..8], &c[u][4..8]);
+        (lo.wrapping_add(hi) >> 13) as i16
+    })
+}
+
+/// 2-D 8×8 DCT: row pass, transpose, column pass — mirroring the
+/// assembly's row/transpose/column structure exactly.
+pub fn dct8x8(src: &[i16]) -> Vec<i16> {
+    assert_eq!(src.len(), 64);
+    let c = dct8_coefficients();
+    let mut tmp = [[0i16; 8]; 8];
+    for r in 0..8 {
+        let row: [i16; 8] = std::array::from_fn(|i| src[r * 8 + i]);
+        let y = dct8_pass(&row, &c);
+        // Store then transpose: tmp[u][r] would fuse the transpose; the
+        // assembly stores row-major and transposes explicitly, which is
+        // value-identical.
+        tmp[r] = y;
+    }
+    // Transpose.
+    let mut t = [[0i16; 8]; 8];
+    for r in 0..8 {
+        for i in 0..8 {
+            t[i][r] = tmp[r][i];
+        }
+    }
+    // Column pass (as rows of the transposed buffer).
+    let mut out = vec![0i16; 64];
+    for r in 0..8 {
+        let y = dct8_pass(&t[r], &c);
+        out[r * 8..r * 8 + 8].copy_from_slice(&y);
+    }
+    out
+}
+
+/// Matrix transpose, row-major `rows × cols` i16.
+pub fn transpose(src: &[i16], rows: usize, cols: usize) -> Vec<i16> {
+    let mut out = vec![0i16; src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+/// 16×16 i16 matrix multiply: `C[i][j] = (Σ_k A[i][k]·B[k][j]) >> 15`,
+/// pmaddwd-style grouping (four 4-element groups).
+pub fn matmul16(a: &[i16], b: &[i16]) -> Vec<i16> {
+    assert_eq!(a.len(), 256);
+    assert_eq!(b.len(), 256);
+    let bt = transpose(b, 16, 16);
+    let mut out = vec![0i16; 256];
+    for i in 0..16 {
+        for j in 0..16 {
+            let mut acc = 0i32;
+            for g in 0..4 {
+                acc = acc.wrapping_add(madd4(
+                    &a[i * 16 + g * 4..i * 16 + g * 4 + 4],
+                    &bt[j * 16 + g * 4..j * 16 + g * 4 + 4],
+                ));
+            }
+            out[i * 16 + j] = (acc >> 15) as i16;
+        }
+    }
+    out
+}
+
+/// The Figure 5 dot-product products: given `x = [a b c d ...]` and
+/// `y = [e f g h ...]` in groups of four, produce the low and high
+/// product halves of `[a e b f] × [c g d h]` per group.
+pub fn figure5_products(x: &[i16], y: &[i16]) -> (Vec<i16>, Vec<i16>) {
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    for g in 0..x.len() / 4 {
+        let (a, b, c, d) = (x[4 * g], x[4 * g + 1], x[4 * g + 2], x[4 * g + 3]);
+        let (e, f, gg, h) = (y[4 * g], y[4 * g + 1], y[4 * g + 2], y[4 * g + 3]);
+        for (p, q) in [(a, c), (e, gg), (b, d), (f, h)] {
+            let prod = p as i32 * q as i32;
+            lo.push(prod as i16);
+            hi.push((prod >> 16) as i16);
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn fir_impulse_recovers_coefficients() {
+        let c = workload::coefficients(3, 12);
+        let mut x = vec![0i16; 30];
+        x[0] = i16::MAX; // ~unit impulse in Q15
+        let y = fir(&x, &c);
+        for (k, &ck) in c.iter().enumerate() {
+            // y[k] = (c[k] * 32767) >> 15 ≈ c[k] (within truncation).
+            assert!((y[k] as i32 - ck as i32).abs() <= 1, "tap {k}");
+        }
+        assert_eq!(y[12], 0);
+    }
+
+    #[test]
+    fn fir_linearity() {
+        let c = workload::coefficients(4, 12);
+        let x = workload::samples(5, 64, 4000);
+        let x2: Vec<i16> = x.iter().map(|&v| v * 2).collect();
+        let y = fir(&x, &c);
+        let y2 = fir(&x2, &c);
+        // Not exactly linear because of truncation, but within 1 LSB per
+        // truncation boundary.
+        for i in 0..64 {
+            assert!((y2[i] as i32 - 2 * y[i] as i32).abs() <= 2, "index {i}");
+        }
+    }
+
+    #[test]
+    fn iir_reduces_to_fir_without_feedback() {
+        let b = workload::coefficients(6, 11);
+        let x = workload::samples(7, 100, 8000);
+        let y_iir = iir(&x, &b, &[0i16; 10]);
+        let y_fir = fir(&x, &b);
+        assert_eq!(y_iir, y_fir);
+    }
+
+    #[test]
+    fn iir_feedback_is_stable_and_bounded() {
+        let b = workload::coefficients(6, 11);
+        let na: Vec<i16> = workload::coefficients(8, 10).iter().map(|&v| v / 2).collect();
+        let x = workload::samples(7, 150, 8000);
+        let y = iir(&x, &b, &na);
+        for &v in &y {
+            assert!(v.abs() < 20000);
+        }
+        // Feedback actually changes the output.
+        assert_ne!(y, iir(&x, &b, &[0i16; 10]));
+    }
+
+    #[test]
+    fn fft_impulse_is_flat() {
+        // x = δ: spectrum constant = amplitude >> stages.
+        let n = 64;
+        let mut x = vec![0i16; n];
+        x[0] = 16384;
+        let w = fft_q15(&x);
+        let expect = 16384 >> 6; // six >>1 stages
+        for (re, im) in w {
+            assert_eq!(im, 0);
+            assert!((re as i32 - expect).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn fft_sine_peaks_at_bin() {
+        let n = 128;
+        let x = workload::sine(n, 8.0, 0.10);
+        let w = fft_q15(&x);
+        let mags: Vec<i64> = w
+            .iter()
+            .map(|&(r, i)| (r as i64).pow(2) + (i as i64).pow(2))
+            .collect();
+        let peak = (1..n).max_by_key(|&i| mags[i]).unwrap();
+        assert!(peak == 8 || peak == n - 8, "peak at {peak}");
+        // The peak dominates everything except its mirror.
+        for (i, &m) in mags.iter().enumerate() {
+            if i != 8 && i != n - 8 && i != 0 {
+                assert!(m < mags[8] / 4, "bin {i} too large: {m} vs {}", mags[8]);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_is_an_involution() {
+        for n in [16usize, 128, 1024] {
+            let t = bit_reverse_table(n);
+            for i in 0..n {
+                assert_eq!(t[t[i] as usize] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn dct_of_flat_block_is_dc_only() {
+        let src = vec![1000i16; 64];
+        let out = dct8x8(&src);
+        assert!(out[0] > 1500, "DC = {}", out[0]);
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 8, "AC coefficient {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn dct_energy_concentrates_for_smooth_ramp() {
+        // Every row is the same ramp: after the row pass all rows carry
+        // identical spectra, so the column pass collapses everything into
+        // the first output *column*.
+        let src: Vec<i16> = (0..64).map(|i| ((i % 8) as i16) * 800).collect();
+        let out = dct8x8(&src);
+        let col0: i64 = (0..8).map(|r| (out[r * 8] as i64).abs()).sum();
+        let rest: i64 = (0..64)
+            .filter(|i| i % 8 != 0)
+            .map(|i| (out[i] as i64).abs())
+            .sum();
+        assert!(col0 > rest * 4, "column 0 {col0} vs rest {rest}");
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = workload::matrix(11, 16, 16, 30000);
+        assert_eq!(transpose(&transpose(&m, 16, 16), 16, 16), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut ident = vec![0i16; 256];
+        for i in 0..16 {
+            ident[i * 16 + i] = i16::MAX; // ~1.0 in Q15
+        }
+        let a = workload::matrix(13, 16, 16, 8000);
+        let c = matmul16(&a, &ident);
+        for i in 0..256 {
+            // a * ~1.0 with truncation: within 1 LSB.
+            assert!((c[i] as i32 - a[i] as i32).abs() <= 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn figure5_products_match_scalar() {
+        let x = vec![100i16, 200, 300, 400];
+        let y = vec![11i16, 22, 33, 44];
+        let (lo, hi) = figure5_products(&x, &y);
+        assert_eq!(lo[0], (100i32 * 300) as i16);
+        assert_eq!(hi[0], ((100i32 * 300) >> 16) as i16);
+        assert_eq!(lo[1], (11i32 * 33) as i16);
+        assert_eq!(lo[2], (200i32 * 400) as i16);
+        assert_eq!(lo[3], (22i32 * 44) as i16);
+    }
+}

@@ -1,0 +1,71 @@
+//! The Figure 9 benchmark suite.
+
+use crate::framework::Kernel;
+use crate::k_dct::Dct8x8;
+use crate::k_dotprod::DotProd;
+use crate::k_fft::{Fft1024, Fft128};
+use crate::k_fir::{Fir12, Fir22};
+use crate::k_iir::Iir10;
+use crate::k_matmul::MatMul16;
+use crate::k_transpose::Transpose16;
+
+/// A suite entry: the kernel plus the block counts its measurement uses
+/// (small enough to simulate quickly, large enough that steady state
+/// dominates the difference).
+pub struct SuiteEntry {
+    /// The kernel.
+    pub kernel: &'static dyn Kernel,
+    /// Small block count.
+    pub blocks_small: u64,
+    /// Large block count.
+    pub blocks_large: u64,
+}
+
+static FIR12: Fir12 = Fir12 {};
+static FIR22: Fir22 = Fir22 {};
+static IIR: Iir10 = Iir10;
+static FFT1024: Fft1024 = Fft1024 {};
+static FFT128: Fft128 = Fft128 {};
+static DCT: Dct8x8 = Dct8x8;
+static MATMUL: MatMul16 = MatMul16;
+static TRANSPOSE: Transpose16 = Transpose16;
+static DOTPROD: DotProd = DotProd;
+
+/// The eight paper benchmarks, in Figure 9 order.
+pub fn paper_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry { kernel: &FIR12, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &FIR22, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &IIR, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &FFT1024, blocks_small: 1, blocks_large: 3 },
+        SuiteEntry { kernel: &FFT128, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &DCT, blocks_small: 2, blocks_large: 8 },
+        SuiteEntry { kernel: &MATMUL, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &TRANSPOSE, blocks_small: 2, blocks_large: 8 },
+    ]
+}
+
+/// The Figure 5 running example (not part of Figure 9).
+pub fn dotprod_example() -> SuiteEntry {
+    SuiteEntry { kernel: &DOTPROD, blocks_small: 2, blocks_large: 6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_tables() {
+        let s = paper_suite();
+        assert_eq!(s.len(), 8);
+        for e in &s {
+            assert!(
+                e.kernel.paper().is_some(),
+                "{} missing from paper tables",
+                e.kernel.name()
+            );
+            assert!(e.blocks_small < e.blocks_large);
+        }
+        assert!(dotprod_example().kernel.paper().is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Architectural register state: MMX registers, scalar registers, flags.
+
+use subword_isa::reg::{GpReg, MmReg};
+
+/// Condition flags (the subset the instruction set exercises).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+/// The architectural register file.
+#[derive(Clone, Debug, Default)]
+pub struct RegFile {
+    /// The eight 64-bit MMX registers.
+    pub mm: [u64; 8],
+    /// Sixteen 32-bit scalar registers.
+    pub gp: [u32; 16],
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl RegFile {
+    /// Read an MMX register.
+    #[inline]
+    pub fn read_mm(&self, r: MmReg) -> u64 {
+        self.mm[r.index()]
+    }
+
+    /// Write an MMX register.
+    #[inline]
+    pub fn write_mm(&mut self, r: MmReg, v: u64) {
+        self.mm[r.index()] = v;
+    }
+
+    /// Read a scalar register.
+    #[inline]
+    pub fn read_gp(&self, r: GpReg) -> u32 {
+        self.gp[r.index()]
+    }
+
+    /// Write a scalar register.
+    #[inline]
+    pub fn write_gp(&mut self, r: GpReg, v: u32) {
+        self.gp[r.index()] = v;
+    }
+
+    /// The unified 64-byte SPU register view of the MMX file (paper §3:
+    /// the SPU register shadows the register file write-through; here the
+    /// view is materialised on demand, which is equivalent because every
+    /// architectural write goes through [`RegFile::write_mm`]).
+    #[inline]
+    pub fn spu_view(&self) -> [u8; 64] {
+        let mut v = [0u8; 64];
+        for (i, r) in self.mm.iter().enumerate() {
+            v[i * 8..i * 8 + 8].copy_from_slice(&r.to_le_bytes());
+        }
+        v
+    }
+
+    /// Set flags from a 32-bit result (logic ops: CF = OF = 0).
+    #[inline]
+    pub fn set_flags_logic(&mut self, result: u32) {
+        self.flags = Flags {
+            zf: result == 0,
+            sf: (result as i32) < 0,
+            cf: false,
+            of: false,
+        };
+    }
+
+    /// Set flags from an addition `a + b = result`.
+    #[inline]
+    pub fn set_flags_add(&mut self, a: u32, b: u32, result: u32) {
+        self.flags = Flags {
+            zf: result == 0,
+            sf: (result as i32) < 0,
+            cf: (a as u64 + b as u64) > u32::MAX as u64,
+            of: ((a ^ result) & (b ^ result) & 0x8000_0000) != 0,
+        };
+    }
+
+    /// Set flags from a subtraction `a - b = result` (also `cmp`).
+    #[inline]
+    pub fn set_flags_sub(&mut self, a: u32, b: u32, result: u32) {
+        self.flags = Flags {
+            zf: result == 0,
+            sf: (result as i32) < 0,
+            cf: a < b,
+            of: ((a ^ b) & (a ^ result) & 0x8000_0000) != 0,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_isa::op::Cond;
+    use subword_isa::reg::gp::*;
+    use subword_isa::reg::MmReg::*;
+
+    #[test]
+    fn mm_gp_roundtrip() {
+        let mut r = RegFile::default();
+        r.write_mm(MM5, 42);
+        r.write_gp(R9, 7);
+        assert_eq!(r.read_mm(MM5), 42);
+        assert_eq!(r.read_gp(R9), 7);
+    }
+
+    #[test]
+    fn spu_view_matches_registers() {
+        let mut r = RegFile::default();
+        r.write_mm(MM0, 0x0807_0605_0403_0201);
+        r.write_mm(MM7, 0xF8F7_F6F5_F4F3_F2F1);
+        let v = r.spu_view();
+        assert_eq!(v[0], 0x01);
+        assert_eq!(v[7], 0x08);
+        assert_eq!(v[56], 0xF1);
+        assert_eq!(v[63], 0xF8);
+    }
+
+    #[test]
+    fn sub_flags_feed_signed_and_unsigned_conds() {
+        let mut r = RegFile::default();
+        // 3 - 5
+        r.set_flags_sub(3, 5, 3u32.wrapping_sub(5));
+        let f = r.flags;
+        assert!(Cond::L.eval(f.zf, f.sf, f.cf, f.of));
+        assert!(Cond::B.eval(f.zf, f.sf, f.cf, f.of));
+        assert!(!Cond::E.eval(f.zf, f.sf, f.cf, f.of));
+        // -1 - 1 signed: -2, no overflow; unsigned 0xffffffff - 1: no borrow.
+        r.set_flags_sub(u32::MAX, 1, u32::MAX.wrapping_sub(1));
+        let f = r.flags;
+        assert!(!f.cf);
+        assert!(f.sf);
+        assert!(!f.of);
+        // i32::MIN - 1 overflows signed.
+        r.set_flags_sub(0x8000_0000, 1, 0x7fff_ffff);
+        assert!(r.flags.of);
+    }
+
+    #[test]
+    fn add_flags_carry_and_overflow() {
+        let mut r = RegFile::default();
+        r.set_flags_add(u32::MAX, 1, 0);
+        assert!(r.flags.cf && r.flags.zf && !r.flags.of);
+        r.set_flags_add(0x7fff_ffff, 1, 0x8000_0000);
+        assert!(r.flags.of && r.flags.sf && !r.flags.cf);
+    }
+
+    #[test]
+    fn logic_flags_clear_carry() {
+        let mut r = RegFile::default();
+        r.set_flags_logic(0);
+        assert!(r.flags.zf && !r.flags.cf && !r.flags.of);
+        r.set_flags_logic(0x8000_0000);
+        assert!(r.flags.sf);
+    }
+}

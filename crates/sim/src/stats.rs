@@ -1,0 +1,223 @@
+//! Run-time statistics — the simulator's replacement for the paper's
+//! VTune measurements.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Counters collected over a simulation run.
+///
+/// All the quantities the paper's evaluation reports are derivable from
+/// these: Figure 9's cycle counts and MMX-active fractions, Table 2's
+/// branch statistics, and (with the compiler's report) Table 3's
+/// off-loaded-permutation accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Clock cycles executed.
+    pub cycles: u64,
+    /// Dynamic instructions retired (excluding `halt`).
+    pub instructions: u64,
+    /// Dynamic MMX-unit instructions.
+    pub mmx_instructions: u64,
+    /// Dynamic scalar instructions (including branches).
+    pub scalar_instructions: u64,
+    /// Dynamic MMX realignment (pack/unpack/byte-shift/reg-move)
+    /// instructions actually executed.
+    pub mmx_realignments: u64,
+    /// Dynamic MMX multiplies.
+    pub mmx_multiplies: u64,
+    /// Dynamic scalar multiplies.
+    pub scalar_multiplies: u64,
+    /// Branches executed (conditional and unconditional).
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Cycles lost to mispredict penalties.
+    pub mispredict_cycles: u64,
+    /// Cycles lost to scoreboard (result-latency) stalls.
+    pub stall_cycles: u64,
+    /// Extra cycles consumed by blocking scalar multiplies.
+    pub imul_block_cycles: u64,
+    /// Issue slots that dual-issued (U+V).
+    pub pairs: u64,
+    /// Issue slots that single-issued.
+    pub singles: u64,
+    /// Cycles in which at least one MMX instruction issued (the hashed
+    /// portion of the paper's Figure 9 bars).
+    pub mmx_active_cycles: u64,
+    /// Memory loads executed.
+    pub loads: u64,
+    /// Memory stores executed.
+    pub stores: u64,
+    /// Instructions whose operands were routed by the SPU.
+    pub spu_routed: u64,
+    /// SPU controller steps consumed.
+    pub spu_steps: u64,
+    /// SPU GO activations.
+    pub spu_activations: u64,
+    /// Stores/loads handled by the SPU MMIO window (setup traffic).
+    pub mmio_accesses: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of executed instructions that are MMX.
+    pub fn mmx_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mmx_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of cycles with MMX activity (Figure 9's hashed bars).
+    pub fn mmx_active_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mmx_active_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredicted branches as a fraction of clocks — the "Missed
+    /// Branches %" column of the paper's Table 2.
+    pub fn miss_per_clock(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Realignment instructions as a fraction of MMX instructions.
+    pub fn realignment_fraction_of_mmx(&self) -> f64 {
+        if self.mmx_instructions == 0 {
+            0.0
+        } else {
+            self.mmx_realignments as f64 / self.mmx_instructions as f64
+        }
+    }
+}
+
+impl Sub for SimStats {
+    type Output = SimStats;
+
+    /// Field-wise difference — used to extract steady-state windows
+    /// (`stats(K2 blocks) - stats(K1 blocks)`).
+    fn sub(self, o: SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles - o.cycles,
+            instructions: self.instructions - o.instructions,
+            mmx_instructions: self.mmx_instructions - o.mmx_instructions,
+            scalar_instructions: self.scalar_instructions - o.scalar_instructions,
+            mmx_realignments: self.mmx_realignments - o.mmx_realignments,
+            mmx_multiplies: self.mmx_multiplies - o.mmx_multiplies,
+            scalar_multiplies: self.scalar_multiplies - o.scalar_multiplies,
+            branches: self.branches - o.branches,
+            mispredicts: self.mispredicts - o.mispredicts,
+            mispredict_cycles: self.mispredict_cycles - o.mispredict_cycles,
+            stall_cycles: self.stall_cycles - o.stall_cycles,
+            imul_block_cycles: self.imul_block_cycles - o.imul_block_cycles,
+            pairs: self.pairs - o.pairs,
+            singles: self.singles - o.singles,
+            mmx_active_cycles: self.mmx_active_cycles - o.mmx_active_cycles,
+            loads: self.loads - o.loads,
+            stores: self.stores - o.stores,
+            spu_routed: self.spu_routed - o.spu_routed,
+            spu_steps: self.spu_steps - o.spu_steps,
+            spu_activations: self.spu_activations - o.spu_activations,
+            mmio_accesses: self.mmio_accesses - o.mmio_accesses,
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles            {:>12}", self.cycles)?;
+        writeln!(f, "instructions      {:>12}  (ipc {:.2})", self.instructions, self.ipc())?;
+        writeln!(
+            f,
+            "  mmx             {:>12}  ({:.1}% of instrs, {:.1}% of cycles active)",
+            self.mmx_instructions,
+            100.0 * self.mmx_fraction(),
+            100.0 * self.mmx_active_fraction()
+        )?;
+        writeln!(
+            f,
+            "  mmx realign     {:>12}  ({:.1}% of mmx)",
+            self.mmx_realignments,
+            100.0 * self.realignment_fraction_of_mmx()
+        )?;
+        writeln!(f, "  mmx multiplies  {:>12}", self.mmx_multiplies)?;
+        writeln!(f, "  scalar          {:>12}", self.scalar_instructions)?;
+        writeln!(
+            f,
+            "branches          {:>12}  missed {} ({:.3}% of clocks)",
+            self.branches,
+            self.mispredicts,
+            100.0 * self.miss_per_clock()
+        )?;
+        writeln!(
+            f,
+            "slots             {:>12} pairs / {} singles",
+            self.pairs, self.singles
+        )?;
+        writeln!(
+            f,
+            "stalls            {:>12} scoreboard, {} mispredict, {} imul",
+            self.stall_cycles, self.mispredict_cycles, self.imul_block_cycles
+        )?;
+        writeln!(
+            f,
+            "spu               {:>12} routed / {} steps / {} activations",
+            self.spu_routed, self.spu_steps, self.spu_activations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = SimStats {
+            cycles: 1000,
+            instructions: 1500,
+            mmx_instructions: 600,
+            mmx_realignments: 120,
+            mmx_active_cycles: 500,
+            mispredicts: 2,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.mmx_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.mmx_active_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.miss_per_clock() - 0.002).abs() < 1e-12);
+        assert!((s.realignment_fraction_of_mmx() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mmx_fraction(), 0.0);
+        assert_eq!(s.miss_per_clock(), 0.0);
+    }
+
+    #[test]
+    fn subtraction_extracts_windows() {
+        let a = SimStats { cycles: 100, instructions: 150, ..Default::default() };
+        let b = SimStats { cycles: 250, instructions: 390, ..Default::default() };
+        let w = b - a;
+        assert_eq!(w.cycles, 150);
+        assert_eq!(w.instructions, 240);
+    }
+}

@@ -1,0 +1,396 @@
+//! Property-based testing of the pipeline model: whatever the U/V pairing
+//! logic, multiplier scoreboard and branch predictor do to *timing*, the
+//! **architectural** results (registers, memory) must equal a plain
+//! sequential evaluation of the same program.
+//!
+//! The sequential oracle below executes one instruction at a time straight
+//! from the ISA semantics — no pairing, no latencies, no prediction — so
+//! any divergence indicts the pipeline's hazard handling.
+
+use proptest::prelude::*;
+use subword_isa::instr::{GpOperand, Instr, MmxOperand};
+use subword_isa::mem::Mem;
+use subword_isa::op::{AluOp, Cond, MmxOp};
+use subword_isa::program::Program;
+use subword_isa::reg::{GpReg, MmReg};
+use subword_isa::semantics;
+use subword_isa::ProgramBuilder;
+use subword_sim::{Machine, MachineConfig};
+
+const MEM_BASE: u32 = 0x1_0000;
+const MEM_SLOTS: u32 = 16;
+
+/// Minimal sequential oracle.
+struct Oracle {
+    mm: [u64; 8],
+    gp: [u32; 16],
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    of: bool,
+    mem: Vec<u8>,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            mm: [0; 8],
+            gp: [0; 16],
+            zf: false,
+            sf: false,
+            cf: false,
+            of: false,
+            mem: vec![0; (MEM_SLOTS as usize + 1) * 8],
+        }
+    }
+
+    fn ea(&self, m: &Mem) -> usize {
+        (m.effective(|r| self.gp[r.index()]) - MEM_BASE) as usize
+    }
+
+    fn load64(&self, a: usize) -> u64 {
+        u64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap())
+    }
+
+    fn run(&mut self, p: &Program) {
+        let mut pc = 0usize;
+        let mut steps = 0u32;
+        while pc < p.instrs.len() {
+            steps += 1;
+            assert!(steps < 1_000_000, "oracle runaway");
+            match &p.instrs[pc] {
+                Instr::Halt => break,
+                Instr::Mmx { op, dst, src } => {
+                    let a = self.mm[dst.index()];
+                    let b = match src {
+                        MmxOperand::Reg(r) => self.mm[r.index()],
+                        MmxOperand::Imm(i) => *i as u64,
+                        MmxOperand::Mem(m) => self.load64(self.ea(m)),
+                    };
+                    self.mm[dst.index()] = semantics::eval(*op, a, b);
+                }
+                Instr::MovqLoad { dst, addr } => {
+                    self.mm[dst.index()] = self.load64(self.ea(addr));
+                }
+                Instr::MovqStore { addr, src } => {
+                    let a = self.ea(addr);
+                    self.mem[a..a + 8].copy_from_slice(&self.mm[src.index()].to_le_bytes());
+                }
+                Instr::Alu { op, dst, src } => {
+                    let a = self.gp[dst.index()];
+                    let b = match src {
+                        GpOperand::Reg(r) => self.gp[r.index()],
+                        GpOperand::Imm(i) => *i as u32,
+                    };
+                    let r = match op {
+                        AluOp::Mov => b,
+                        AluOp::Add => {
+                            let r = a.wrapping_add(b);
+                            self.zf = r == 0;
+                            self.sf = (r as i32) < 0;
+                            self.cf = (a as u64 + b as u64) > u32::MAX as u64;
+                            self.of = ((a ^ r) & (b ^ r) & 0x8000_0000) != 0;
+                            r
+                        }
+                        AluOp::Sub => {
+                            let r = a.wrapping_sub(b);
+                            self.zf = r == 0;
+                            self.sf = (r as i32) < 0;
+                            self.cf = a < b;
+                            self.of = ((a ^ b) & (a ^ r) & 0x8000_0000) != 0;
+                            r
+                        }
+                        AluOp::Xor => {
+                            let r = a ^ b;
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::And => {
+                            let r = a & b;
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::Or => {
+                            let r = a | b;
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::Imul => {
+                            let r = (a as i32).wrapping_mul(b as i32) as u32;
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::Shl => {
+                            let r = if b >= 32 { 0 } else { a << b };
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::Shr => {
+                            let r = if b >= 32 { 0 } else { a >> b };
+                            self.set_logic(r);
+                            r
+                        }
+                        AluOp::Sar => {
+                            let r = ((a as i32) >> b.min(31)) as u32;
+                            self.set_logic(r);
+                            r
+                        }
+                    };
+                    self.gp[dst.index()] = r;
+                }
+                Instr::Jcc { cond, target } => {
+                    if cond.eval(self.zf, self.sf, self.cf, self.of) {
+                        pc = p.resolve(*target);
+                        continue;
+                    }
+                }
+                Instr::Jmp { target } => {
+                    pc = p.resolve(*target);
+                    continue;
+                }
+                Instr::MovdToMm { dst, src } => {
+                    self.mm[dst.index()] = self.gp[src.index()] as u64;
+                }
+                Instr::MovdFromMm { dst, src } => {
+                    self.gp[dst.index()] = self.mm[src.index()] as u32;
+                }
+                Instr::LoadW { dst, addr, signed } => {
+                    let a = self.ea(addr);
+                    let raw = u16::from_le_bytes(self.mem[a..a + 2].try_into().unwrap());
+                    self.gp[dst.index()] =
+                        if *signed { raw as i16 as i32 as u32 } else { raw as u32 };
+                }
+                Instr::StoreW { addr, src } => {
+                    let a = self.ea(addr);
+                    let v = (self.gp[src.index()] as u16).to_le_bytes();
+                    self.mem[a..a + 2].copy_from_slice(&v);
+                }
+                Instr::Lea { dst, addr } => {
+                    self.gp[dst.index()] = addr.effective(|r| self.gp[r.index()]);
+                }
+                Instr::Cmp { a, b } => {
+                    let x = self.gp[a.index()];
+                    let y = match b {
+                        GpOperand::Reg(r) => self.gp[r.index()],
+                        GpOperand::Imm(i) => *i as u32,
+                    };
+                    let r = x.wrapping_sub(y);
+                    self.zf = r == 0;
+                    self.sf = (r as i32) < 0;
+                    self.cf = x < y;
+                    self.of = ((x ^ y) & (x ^ r) & 0x8000_0000) != 0;
+                }
+                Instr::Test { a, b } => {
+                    let x = self.gp[a.index()];
+                    let y = match b {
+                        GpOperand::Reg(r) => self.gp[r.index()],
+                        GpOperand::Imm(i) => *i as u32,
+                    };
+                    self.set_logic(x & y);
+                }
+                Instr::Nop => {}
+                other => unreachable!("oracle does not expect {other}"),
+            }
+            pc += 1;
+        }
+    }
+
+    fn set_logic(&mut self, r: u32) {
+        self.zf = r == 0;
+        self.sf = (r as i32) < 0;
+        self.cf = false;
+        self.of = false;
+    }
+}
+
+#[derive(Clone, Debug)]
+enum S {
+    Mmx { op_idx: u8, dst: u8, src: u8 },
+    MmxImm { shift_idx: u8, dst: u8, imm: u8 },
+    MmxMem { op_idx: u8, dst: u8, slot: u8 },
+    Load { dst: u8, slot: u8 },
+    Store { src: u8, slot: u8 },
+    Alu { op_idx: u8, dst: u8, src: u8 },
+    AluImm { op_idx: u8, dst: u8, imm: i16 },
+    MovdToMm { dst: u8, src: u8 },
+    MovdFromMm { dst: u8, src: u8 },
+    LoadW { dst: u8, slot: u8, signed: bool },
+    StoreW { src: u8, slot: u8 },
+    Lea { dst: u8, base: u8, disp: u8 },
+    CmpImm { a: u8, imm: i16 },
+    TestRr { a: u8, b: u8 },
+}
+
+const OPS: [MmxOp; 12] = [
+    MmxOp::Paddw,
+    MmxOp::Psubb,
+    MmxOp::Paddsw,
+    MmxOp::Paddusb,
+    MmxOp::Pmullw,
+    MmxOp::Pmulhw,
+    MmxOp::Pmaddwd,
+    MmxOp::Pxor,
+    MmxOp::Punpcklwd,
+    MmxOp::Punpckhbw,
+    MmxOp::Packssdw,
+    MmxOp::Movq,
+];
+const SHIFTS: [MmxOp; 4] = [MmxOp::Psllw, MmxOp::Psrlq, MmxOp::Psraw, MmxOp::Pslld];
+const ALUS: [AluOp; 7] =
+    [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Imul, AluOp::Shl];
+
+fn step_strategy() -> impl Strategy<Value = S> {
+    prop_oneof![
+        (0u8..12, 0u8..8, 0u8..8).prop_map(|(op_idx, dst, src)| S::Mmx { op_idx, dst, src }),
+        (0u8..4, 0u8..8, 0u8..66).prop_map(|(shift_idx, dst, imm)| S::MmxImm {
+            shift_idx,
+            dst,
+            imm
+        }),
+        (0u8..12, 0u8..8, 0u8..16).prop_map(|(op_idx, dst, slot)| S::MmxMem { op_idx, dst, slot }),
+        (0u8..8, 0u8..16).prop_map(|(dst, slot)| S::Load { dst, slot }),
+        (0u8..8, 0u8..16).prop_map(|(src, slot)| S::Store { src, slot }),
+        (0u8..7, 1u8..8, 1u8..8).prop_map(|(op_idx, dst, src)| S::Alu { op_idx, dst, src }),
+        (0u8..7, 1u8..8, any::<i16>()).prop_map(|(op_idx, dst, imm)| S::AluImm {
+            op_idx,
+            dst,
+            imm
+        }),
+        (0u8..8, 1u8..8).prop_map(|(dst, src)| S::MovdToMm { dst, src }),
+        (1u8..8, 0u8..8).prop_map(|(dst, src)| S::MovdFromMm { dst, src }),
+        (1u8..8, 0u8..16, any::<bool>()).prop_map(|(dst, slot, signed)| S::LoadW {
+            dst,
+            slot,
+            signed
+        }),
+        (1u8..8, 0u8..16).prop_map(|(src, slot)| S::StoreW { src, slot }),
+        (1u8..8, 1u8..8, 0u8..64).prop_map(|(dst, base, disp)| S::Lea { dst, base, disp }),
+        (1u8..8, any::<i16>()).prop_map(|(a, imm)| S::CmpImm { a, imm }),
+        (1u8..8, 1u8..8).prop_map(|(a, b)| S::TestRr { a, b }),
+    ]
+}
+
+fn mm(i: u8) -> MmReg {
+    MmReg::from_index(i as usize & 7).unwrap()
+}
+
+fn gp(i: u8) -> GpReg {
+    GpReg::from_index(i as usize & 7).unwrap()
+}
+
+fn build(steps: &[S], trips: u64) -> Program {
+    let mut b = ProgramBuilder::new("prop-machine");
+    b.mov_ri(gp(0), trips as i32);
+    let l = b.bind_here("loop");
+    for s in steps {
+        match s {
+            S::Mmx { op_idx, dst, src } => {
+                b.mmx_rr(OPS[*op_idx as usize % 12], mm(*dst), mm(*src));
+            }
+            S::MmxImm { shift_idx, dst, imm } => {
+                b.mmx_ri(SHIFTS[*shift_idx as usize % 4], mm(*dst), *imm);
+            }
+            S::MmxMem { op_idx, dst, slot } => {
+                b.mmx_rm(
+                    OPS[*op_idx as usize % 12],
+                    mm(*dst),
+                    Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8),
+                );
+            }
+            S::Load { dst, slot } => {
+                b.movq_load(mm(*dst), Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8));
+            }
+            S::Store { src, slot } => {
+                b.movq_store(Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8), mm(*src));
+            }
+            S::Alu { op_idx, dst, src } => {
+                b.alu_rr(ALUS[*op_idx as usize % 7], gp(*dst), gp(*src));
+            }
+            S::AluImm { op_idx, dst, imm } => {
+                b.alu_ri(ALUS[*op_idx as usize % 7], gp(*dst), *imm as i32);
+            }
+            S::MovdToMm { dst, src } => {
+                b.movd_to_mm(mm(*dst), gp(*src));
+            }
+            S::MovdFromMm { dst, src } => {
+                b.movd_from_mm(gp(*dst), mm(*src));
+            }
+            S::LoadW { dst, slot, signed } => {
+                b.load_w(
+                    gp(*dst),
+                    Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8),
+                    *signed,
+                );
+            }
+            S::StoreW { src, slot } => {
+                b.store_w(Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8), gp(*src));
+            }
+            S::Lea { dst, base, disp } => {
+                // Base register contents are arbitrary; lea only computes.
+                b.lea(gp(*dst), Mem::base_disp(gp(*base), *disp as i32));
+            }
+            S::CmpImm { a, imm } => {
+                b.cmp_ri(gp(*a), *imm as i32);
+            }
+            S::TestRr { a, b: rb } => {
+                b.test_rr(gp(*a), gp(*rb));
+            }
+        }
+    }
+    b.alu_ri(AluOp::Sub, gp(0), 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(trips));
+    b.halt();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pipeline vs sequential oracle: identical registers and memory.
+    #[test]
+    fn pipeline_preserves_architectural_state(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        trips in 1u64..5,
+        seed: u64,
+    ) {
+        let p = build(&steps, trips);
+
+        let mut init_mem = vec![0u8; (MEM_SLOTS as usize + 1) * 8];
+        let mut s = seed;
+        for byte in init_mem.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *byte = (s >> 33) as u8;
+        }
+
+        let mut m = Machine::new(MachineConfig::mmx_only());
+        m.mem.write_bytes(MEM_BASE, &init_mem).unwrap();
+        for i in 0..8 {
+            m.regs.write_mm(mm(i), m_init_mm(seed, i));
+        }
+        let stats = m.run(&p).expect("machine runs");
+
+        let mut o = Oracle::new();
+        o.mem.copy_from_slice(&init_mem);
+        for i in 0..8 {
+            o.mm[i as usize] = m_init_mm(seed, i);
+        }
+        o.run(&p);
+
+        for i in 0..8 {
+            prop_assert_eq!(m.regs.read_mm(mm(i)), o.mm[i as usize], "mm{}", i);
+            prop_assert_eq!(m.regs.read_gp(gp(i)), o.gp[i as usize], "r{}", i);
+        }
+        let got = m.mem.read_bytes(MEM_BASE, init_mem.len()).unwrap();
+        prop_assert_eq!(got, &o.mem[..]);
+
+        // Timing sanity: IPC never exceeds the dual-issue bound, and the
+        // cycle count is at least instructions / 2.
+        prop_assert!(stats.instructions <= 2 * stats.cycles);
+        prop_assert!(stats.cycles >= stats.instructions / 2);
+    }
+}
+
+fn m_init_mm(seed: u64, i: u8) -> u64 {
+    (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}

@@ -1,0 +1,124 @@
+//! The SPU register: a unified 64-byte view over the MMX register file.
+//!
+//! Paper §3: *"The SPU register is simply a set of D flip-flops that are
+//! grouped into bytes ... This unified register allows access to all
+//! sub-words within the register space of the MMX and eliminates inter-word
+//! restrictions. On each read of the SPU register, the entire register is
+//! read. On writes to the SPU register, only those bits that are overwritten
+//! are changed."*
+//!
+//! In the simulator the SPU register shadows the eight MMX registers
+//! write-through: every MMX register write updates the corresponding eight
+//! bytes, so reads of the unified view are always coherent.
+
+use subword_isa::reg::MmReg;
+
+/// Number of bytes in the unified register (8 × 64-bit MMX registers).
+pub const FILE_BYTES: usize = 64;
+
+/// The unified 512-bit SPU register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpuRegister {
+    bytes: [u8; FILE_BYTES],
+}
+
+impl Default for SpuRegister {
+    fn default() -> Self {
+        SpuRegister { bytes: [0; FILE_BYTES] }
+    }
+}
+
+impl SpuRegister {
+    /// A zeroed register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write-through update for one MMX register (its eight bytes).
+    #[inline]
+    pub fn write_reg(&mut self, r: MmReg, value: u64) {
+        self.bytes[r.index() * 8..r.index() * 8 + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Read one MMX register back from the unified view.
+    #[inline]
+    pub fn read_reg(&self, r: MmReg) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[r.index() * 8..r.index() * 8 + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// The full 64-byte view ("on each read ... the entire register is
+    /// read").
+    #[inline]
+    pub fn bytes(&self) -> &[u8; FILE_BYTES] {
+        &self.bytes
+    }
+
+    /// Byte-granular write ("only those bits that are overwritten are
+    /// changed").
+    #[inline]
+    pub fn write_byte(&mut self, file_byte: usize, value: u8) {
+        self.bytes[file_byte] = value;
+    }
+
+    /// Read a single byte of the unified view.
+    #[inline]
+    pub fn read_byte(&self, file_byte: usize) -> u8 {
+        self.bytes[file_byte]
+    }
+
+    /// Rebuild the whole view from an MMX register file snapshot.
+    pub fn sync_from(&mut self, regs: &[u64; 8]) {
+        for (i, &v) in regs.iter().enumerate() {
+            self.bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_isa::reg::MmReg::*;
+
+    #[test]
+    fn write_through_roundtrip() {
+        let mut r = SpuRegister::new();
+        r.write_reg(MM3, 0x0102_0304_0506_0708);
+        assert_eq!(r.read_reg(MM3), 0x0102_0304_0506_0708);
+        assert_eq!(r.read_reg(MM2), 0);
+        // Byte 0 of MM3 is file byte 24 and holds the LSB.
+        assert_eq!(r.read_byte(MM3.file_byte(0)), 0x08);
+        assert_eq!(r.read_byte(MM3.file_byte(7)), 0x01);
+    }
+
+    #[test]
+    fn partial_writes_leave_other_bytes() {
+        let mut r = SpuRegister::new();
+        r.write_reg(MM0, u64::MAX);
+        r.write_byte(3, 0);
+        assert_eq!(r.read_reg(MM0), 0xffff_ffff_00ff_ffff);
+    }
+
+    #[test]
+    fn sync_from_snapshot() {
+        let mut r = SpuRegister::new();
+        let regs: [u64; 8] = std::array::from_fn(|i| i as u64 * 0x0101_0101_0101_0101);
+        r.sync_from(&regs);
+        for (i, reg) in MmReg::ALL.iter().enumerate() {
+            assert_eq!(r.read_reg(*reg), regs[i]);
+        }
+    }
+
+    #[test]
+    fn unified_view_is_register_ordered() {
+        let mut r = SpuRegister::new();
+        for (i, reg) in MmReg::ALL.iter().enumerate() {
+            r.write_reg(*reg, 0x1111_1111_1111_1111u64.wrapping_mul(i as u64));
+        }
+        // File byte 8*k is the LSB of register k.
+        for k in 0..8 {
+            assert_eq!(r.bytes()[8 * k], (0x11 * k) as u8);
+        }
+    }
+}

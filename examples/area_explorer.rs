@@ -1,0 +1,74 @@
+//! Hardware design-space exploration (paper Table 1 + §5.1): sweep
+//! crossbar configurations — the four canonical ones plus custom points —
+//! and print area, delay, control-memory cost, and die overhead at
+//! 0.18 µm.
+//!
+//! ```text
+//! cargo run --release --example area_explorer
+//! ```
+
+use subword::hw::control_memory::ControlMemoryModel;
+use subword::hw::crossbar::CrossbarModel;
+use subword::hw::die::DieOverhead;
+use subword::hw::technology::Technology;
+use subword::spu::crossbar::{CrossbarShape, CANONICAL_SHAPES};
+use subword::spu::microcode::control_memory_bits;
+
+fn main() {
+    let xbar = CrossbarModel::default();
+    let cmem = ControlMemoryModel::default();
+
+    println!("Canonical configurations (paper Table 1), 0.25um 2-metal:\n");
+    println!(
+        "{:<6} {:<28} {:>9} {:>9} {:>10} {:>12}",
+        "shape", "structure", "area mm2", "delay ns", "ctrl mm2", "ctrl bits"
+    );
+    for s in CANONICAL_SHAPES {
+        println!(
+            "{:<6} {:<28} {:>9.2} {:>9.2} {:>10.2} {:>12}",
+            s.name,
+            format!("{}x{} @ {}-bit", s.in_ports, s.out_ports, s.port_bits),
+            xbar.area_mm2(&s),
+            xbar.delay_ns(&s),
+            cmem.area_mm2(&s, 1),
+            control_memory_bits(&s),
+        );
+    }
+
+    // Custom exploration: what would an AltiVec-class 32-register file
+    // cost? (paper §6: "Providing general inter-word permutations across
+    // a large register set would require significantly more interconnect").
+    println!("\nScaling the unified register view (hypothetical, full byte reach):\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>9}",
+        "file", "area mm2", "delay ns", "ctrl mm2", "% of die"
+    );
+    for (regs, in_ports) in [(8u32, 64u16), (16, 128), (32, 256)] {
+        let s = CrossbarShape {
+            name: "custom",
+            in_ports,
+            out_ports: 32,
+            port_bits: 8,
+        };
+        let o = DieOverhead::evaluate(&s, 1, &Technology::PIII_018);
+        println!(
+            "{:<22} {:>9.2} {:>9.2} {:>10.2} {:>9.2}",
+            format!("{regs} x 64-bit registers"),
+            xbar.area_mm2(&s),
+            xbar.delay_ns(&s),
+            cmem.area_mm2(&s, 1),
+            100.0 * o.die_fraction,
+        );
+    }
+
+    println!("\nContext count vs control-memory cost (shape D):");
+    let d = CANONICAL_SHAPES[3];
+    for contexts in [1usize, 2, 4, 8] {
+        let o = DieOverhead::evaluate(&d, contexts, &Technology::PIII_018);
+        println!(
+            "  {contexts} context(s): {:.2} mm2 total at 0.18um = {:.2}% of the Pentium III die",
+            o.total_mm2_target,
+            100.0 * o.die_fraction
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Programming the SPU the way real software would (paper §3/§4): the
+//! controller's state machine, counters and GO bit live behind
+//! memory-mapped control registers, so the *simulated program itself*
+//! writes the micro-code with ordinary stores, arms the GO bit, runs a
+//! kernel block, lets the controller idle itself, and re-arms it for the
+//! next block with a single store.
+//!
+//! ```text
+//! cargo run --release --example mmio_programming
+//! ```
+
+use subword::prelude::*;
+use subword::spu::mmio::SPU_MMIO_BASE;
+use subword_isa::lane::from_iwords;
+
+fn main() {
+    // A reversal permutation: mm2 <- word-reverse(mm0), three blocks.
+    let reverse = ByteRoute::from_reg_words([(MM0, 3), (MM0, 2), (MM0, 1), (MM0, 0)]);
+    let trips = 4u64;
+    let spu_prog = SpuProgram::single_loop(
+        "reverse",
+        &[(None, Some(reverse)), (None, None), (None, None)],
+        trips,
+    );
+
+    let mut b = ProgramBuilder::new("mmio-demo");
+    // --- One-time setup: stores into the memory-mapped state table. ---
+    let stores = emit_spu_setup(&mut b, 0, &spu_prog);
+    // --- Three blocks, each armed by a single GO store. ---
+    for blk in 0..3 {
+        b.mov_ri(R0, trips as i32);
+        b.mov_ri(R1, 0x1000 + blk * 64);
+        emit_spu_go(&mut b, 0, &spu_prog);
+        let l = b.bind_here(format!("block{blk}"));
+        b.movq_rr(MM2, MM0); // routed: becomes the reversed gather
+        b.movq_store(Mem::base(R1), MM2);
+        b.alu_ri(AluOp::Add, R1, 8);
+        b.alu_ri(AluOp::Sub, R0, 1);
+        b.jcc(Cond::Ne, l);
+        b.mark_loop(l, Some(trips));
+    }
+    // Read the controller's status register after the run.
+    b.load(R5, Mem::abs(SPU_MMIO_BASE + 0x20));
+    b.halt();
+    let prog = b.finish().unwrap();
+
+    let mut m = Machine::new(MachineConfig::with_spu(SHAPE_D));
+    m.regs.write_mm(MM0, from_iwords([100, 200, 300, 400]));
+    let stats = m.run(&prog).unwrap();
+
+    println!("setup stores emitted      : {stores}");
+    println!("MMIO accesses executed    : {}", stats.mmio_accesses);
+    println!("SPU activations (GO bits) : {}", stats.spu_activations);
+    println!("controller steps          : {}", stats.spu_steps);
+    println!("routed operand fetches    : {}", stats.spu_routed);
+    println!("status register after run : {:#x} (bit 0 = GO, clear: idled itself)", m.regs.read_gp(R5));
+
+    let out = m.mem.read_i16s(0x1000, 4).unwrap();
+    println!("\nfirst stored vector: {out:?} (word-reversed [100, 200, 300, 400])");
+    assert_eq!(out, vec![400, 300, 200, 100]);
+    assert_eq!(stats.spu_activations, 3);
+    assert_eq!(m.regs.read_gp(R5) & 1, 0);
+    println!("\nper-block marginal cost after setup: one GO store — the paper's");
+    println!("\"startup cost should be easily manageable\" claim in action.");
+}

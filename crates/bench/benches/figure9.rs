@@ -40,16 +40,12 @@ fn bench_figure9(c: &mut Criterion) {
             spu_cycles,
             100.0 * (spu_cycles as f64 / mmx_cycles as f64 - 1.0),
         );
-        group.bench_with_input(
-            BenchmarkId::new("mmx", e.kernel.name()),
-            &base,
-            |b, build| b.iter(|| run_build(build, &MachineConfig::mmx_only())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mmx+spu", e.kernel.name()),
-            &spu,
-            |b, build| b.iter(|| run_build(build, &MachineConfig::with_spu(SHAPE_A))),
-        );
+        group.bench_with_input(BenchmarkId::new("mmx", e.kernel.name()), &base, |b, build| {
+            b.iter(|| run_build(build, &MachineConfig::mmx_only()))
+        });
+        group.bench_with_input(BenchmarkId::new("mmx+spu", e.kernel.name()), &spu, |b, build| {
+            b.iter(|| run_build(build, &MachineConfig::with_spu(SHAPE_A)))
+        });
     }
     group.finish();
 }

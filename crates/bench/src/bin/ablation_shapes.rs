@@ -3,36 +3,40 @@
 //! that configuration's silicon cost — including the claim that
 //! *"All the applications used in this paper can be realized with
 //! configuration D"*.
+//!
+//! The A–D matrix comes from **one** parallel [`run_sweep`] pass (with
+//! per-(kernel, shape) compilation cached) instead of the former four
+//! serial per-shape suite runs.
 
-use subword_bench::{run_entry, Table};
+use subword_bench::sweep::{run_sweep, SweepConfig};
+use subword_bench::Table;
 use subword_hw::crossbar::CrossbarModel;
-use subword_kernels::suite::paper_suite;
 use subword_spu::crossbar::CANONICAL_SHAPES;
 
 fn main() {
     println!("Ablation — SPU benefit vs crossbar configuration\n");
     let xbar = CrossbarModel::default();
+    let run = run_sweep(&SweepConfig::paper(&CANONICAL_SHAPES)).expect("shape sweep");
+    let report = &run.report;
 
-    let mut t = Table::new(&[
-        "benchmark",
-        "shape",
-        "area mm2",
-        "offloaded/block",
-        "cycles saved %",
-    ]);
+    let mut t =
+        Table::new(&["benchmark", "shape", "area mm2", "offloaded/block", "cycles saved %"]);
     let mut d_matches_a = true;
-    for e in paper_suite() {
+    let kernels: Vec<String> =
+        report.for_shape("A").iter().map(|c| c.kernel().to_string()).collect();
+    for kernel in &kernels {
         let mut per_shape = Vec::new();
         for shape in CANONICAL_SHAPES {
-            let m = run_entry(&e, &shape);
+            let cell = report.cell(kernel, shape.name).expect("cell measured");
+            let r = &cell.record;
             t.row(vec![
-                e.kernel.name().to_string(),
+                kernel.clone(),
                 shape.name.to_string(),
                 format!("{:.2}", xbar.area_mm2(&shape)),
-                m.offloaded_per_block().to_string(),
-                format!("{:.1}", m.pct_cycles_saved()),
+                r.offloaded_per_block().to_string(),
+                format!("{:.1}", r.pct_cycles_saved()),
             ]);
-            per_shape.push((shape.name, m.offloaded_per_block()));
+            per_shape.push((shape.name, r.offloaded_per_block()));
         }
         let a = per_shape.iter().find(|(n, _)| *n == "A").unwrap().1;
         let d = per_shape.iter().find(|(n, _)| *n == "D").unwrap().1;
@@ -41,6 +45,10 @@ fn main() {
         }
     }
     println!("{}", t.render());
+    println!(
+        "(matrix from one parallel sweep: {} analyses, {} cache replays)",
+        report.cache.misses, report.cache.hits
+    );
     if d_matches_a {
         println!("confirmed: configuration D off-loads exactly what configuration A");
         println!("does on every paper kernel (paper §5.1: \"All the applications used");

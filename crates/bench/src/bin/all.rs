@@ -13,4 +13,14 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
     }
+
+    // The sweep's JSON report goes to a file instead of the console.
+    println!("\n==================== sweep ====================\n");
+    let out = dir.join("sweep-report.json");
+    let status = Command::new(dir.join("sweep"))
+        .arg(&out)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch sweep: {e}"));
+    assert!(status.success(), "sweep failed");
+    println!("sweep report: {}", out.display());
 }

@@ -5,13 +5,19 @@
 //! ```text
 //! cargo run --release -p subword-bench --bin figure9
 //! ```
+//!
+//! The data comes from a single-shape [`SweepReport`] pass rather than a
+//! private measurement loop.
 
-use subword_bench::{run_suite, sci, Table};
+use subword_bench::sweep::{run_sweep, SweepConfig, SweepReport};
+use subword_bench::{sci, Table};
+use subword_kernels::paper::paper_row;
 use subword_spu::SHAPE_A;
 
 fn main() {
     println!("Figure 9 — cycles executed on MMX and MMX+SPU (shape A crossbar)\n");
-    let results = run_suite(&SHAPE_A);
+    let run = run_sweep(&SweepConfig::paper(&[SHAPE_A])).expect("figure 9 sweep");
+    let report: &SweepReport = &run.report;
 
     let mut t = Table::new(&[
         "benchmark",
@@ -22,22 +28,17 @@ fn main() {
         "paper scale MMX",
         "paper scale MMX+SPU",
     ]);
-    for m in &results {
-        let paper = m.baseline.per_block.cycles as f64;
-        let scale = m
-            .report
-            .loops
-            .first()
-            .map(|_| m.paper_scale(subword_kernels::paper::paper_row(m.name).unwrap()))
-            .unwrap_or(1.0);
+    for cell in report.for_shape("A") {
+        let r = &cell.record;
+        let scale = paper_row(cell.kernel()).map(|p| r.paper_scale(p)).unwrap_or(1.0);
         t.row(vec![
-            m.name.to_string(),
-            m.baseline.per_block.cycles.to_string(),
-            m.spu.per_block.cycles.to_string(),
-            format!("{:.1}", m.pct_cycles_saved()),
-            format!("{:.0}", 100.0 * m.baseline.per_block.mmx_active_fraction()),
-            sci(paper * scale),
-            sci(m.spu.per_block.cycles as f64 * scale),
+            cell.kernel().to_string(),
+            r.baseline_per_block.cycles.to_string(),
+            r.spu_per_block.cycles.to_string(),
+            format!("{:.1}", r.pct_cycles_saved()),
+            format!("{:.0}", 100.0 * r.baseline_per_block.mmx_active_fraction()),
+            sci(r.baseline_per_block.cycles as f64 * scale),
+            sci(r.spu_per_block.cycles as f64 * scale),
         ]);
     }
     println!("{}", t.render());
@@ -45,7 +46,8 @@ fn main() {
     println!("hashed bars (MMX-active %) are large for FIR/DCT/MatMul/Transpose");
     println!("and small for IIR/FFT, which \"do not utilize the MMX efficiently\".");
 
-    let saved: Vec<f64> = results.iter().map(|m| m.pct_cycles_saved()).collect();
+    let saved: Vec<f64> =
+        report.for_shape("A").iter().map(|c| c.record.pct_cycles_saved()).collect();
     let lo = saved.iter().cloned().fold(f64::MAX, f64::min);
     let hi = saved.iter().cloned().fold(f64::MIN, f64::max);
     println!("\nmeasured speedup band: {lo:.1}% .. {hi:.1}% of cycles saved");

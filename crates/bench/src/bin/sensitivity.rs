@@ -1,46 +1,38 @@
 //! Model-sensitivity ablation: how robust are the Figure 9 conclusions to
 //! the simulator's micro-architectural parameters? Sweeps the MMX
-//! multiplier latency, the scalar multiply cost, and the BTB size, and
-//! reports the SPU's cycle savings on a representative kernel triplet
-//! under each.
+//! multiplier latency, the scalar multiply cost, the BTB size, and the
+//! mispredict penalty/predictor, and reports the SPU's cycle savings on a
+//! representative kernel triplet under each.
+//!
+//! Each parameter setting is one small [`run_sweep`] pass (three kernels,
+//! shape A, custom [`MachineConfig`]) — the measurement loop, golden
+//! output checking and compile caching all come from the shared sweep
+//! layer instead of a private harness.
 
+use subword_bench::sweep::{run_sweep_with_cache, CompileCache, SweepConfig};
 use subword_bench::Table;
-use subword_compile::lift_permutes;
 use subword_kernels::suite::paper_suite;
-use subword_kernels::KernelBuild;
-use subword_sim::{Machine, MachineConfig};
+use subword_sim::MachineConfig;
 use subword_spu::SHAPE_A;
 
-fn saved_pct(e: &subword_kernels::SuiteEntry, base_cfg: &MachineConfig) -> f64 {
-    let run = |build: &KernelBuild, cfg: &MachineConfig| -> u64 {
-        let mut m = Machine::new(cfg.clone());
-        for (a, bytes) in &build.setup.mem_init {
-            m.mem.write_bytes(*a, bytes).unwrap();
-        }
-        m.run(&build.program).unwrap().cycles
-    };
-    let per_block = |build_s: &KernelBuild, build_l: &KernelBuild, cfg: &MachineConfig| {
-        (run(build_l, cfg) - run(build_s, cfg)) / (e.blocks_large - e.blocks_small)
-    };
-
-    let bs = e.kernel.build(e.blocks_small);
-    let bl = e.kernel.build(e.blocks_large);
-    let ls = lift_permutes(&bs.program, &SHAPE_A).unwrap();
-    let ll = lift_permutes(&bl.program, &SHAPE_A).unwrap();
-    let ss = KernelBuild { program: ls.program, setup: bs.setup.clone(), expected: vec![] };
-    let sl = KernelBuild { program: ll.program, setup: bl.setup.clone(), expected: vec![] };
-
-    let spu_cfg = MachineConfig { spu_fitted: true, crossbar: SHAPE_A, ..base_cfg.clone() };
-    let base = per_block(&bs, &bl, base_cfg);
-    let spu = per_block(&ss, &sl, &spu_cfg);
-    100.0 * (1.0 - spu as f64 / base as f64)
+/// Cycle savings (%) for the three picked kernels under `cfg`. The
+/// shared cache keeps compilation (machine-config independent) to one
+/// analysis per kernel across every parameter setting.
+fn saved_pcts(base: &MachineConfig, cache: &CompileCache) -> Vec<f64> {
+    let suite = paper_suite();
+    // FIR12 (intra-word), DCT (mixed), Transpose (inter-word).
+    let picks = [0usize, 5, 7];
+    let mut cfg = SweepConfig::paper(&[SHAPE_A]);
+    cfg.entries =
+        suite.into_iter().enumerate().filter(|(i, _)| picks.contains(i)).map(|(_, e)| e).collect();
+    cfg.base = base.clone();
+    let run = run_sweep_with_cache(&cfg, cache).expect("sensitivity sweep");
+    run.report.cells.iter().map(|c| c.record.pct_cycles_saved()).collect()
 }
 
 fn main() {
     println!("Sensitivity of SPU cycle savings to machine parameters\n");
-    let suite = paper_suite();
-    // FIR12 (intra-word), DCT (mixed), Transpose (inter-word).
-    let picks = [0usize, 5, 7];
+    let cache = CompileCache::new();
 
     let mut t = Table::new(&["parameter", "value", "FIR12 %", "DCT %", "Transpose %"]);
     for (label, cfgs) in [
@@ -91,7 +83,7 @@ fn main() {
         ),
     ] {
         for (vlabel, cfg) in cfgs {
-            let vals: Vec<f64> = picks.iter().map(|&i| saved_pct(&suite[i], &cfg)).collect();
+            let vals = saved_pcts(&cfg, &cache);
             t.row(vec![
                 label.to_string(),
                 vlabel.to_string(),

@@ -1,0 +1,63 @@
+//! Runs the full kernel × crossbar-shape job matrix — all nine kernels
+//! (Figure 9's eight plus the Figure 5 dot-product) under each Table 1
+//! shape A–D — in one parallel pass, and emits the resulting
+//! [`SweepReport`] as JSON on stdout (progress and the cache summary go
+//! to stderr).
+//!
+//! ```text
+//! cargo run --release -p subword-bench --bin sweep            # JSON to stdout
+//! cargo run --release -p subword-bench --bin sweep -- out.json
+//! ```
+//!
+//! The process asserts the sweep's core efficiency invariant before
+//! emitting anything: chain extraction and lifting ran **exactly once
+//! per (kernel, shape)** — every other lift request was served from the
+//! compiled-program cache.
+
+use subword_bench::sweep::{run_sweep, SweepConfig, SweepReport};
+
+fn main() {
+    let cfg = SweepConfig::full_matrix();
+    let kernels = cfg.entries.len();
+    let shapes = cfg.shapes.len();
+    eprintln!(
+        "sweep: {kernels} kernels x {shapes} shapes x {} scale(s) = {} measurements",
+        cfg.block_scales.len(),
+        kernels * shapes * cfg.block_scales.len(),
+    );
+
+    let t = std::time::Instant::now();
+    let run = run_sweep(&cfg).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    let report: &SweepReport = &run.report;
+    let stats = report.cache;
+    eprintln!(
+        "sweep: done in {:.2?}; compile cache: {} analyses, {} replays, {} stale",
+        t.elapsed(),
+        stats.misses,
+        stats.hits,
+        stats.stale_fallbacks,
+    );
+
+    // The whole point of the sweep layer: one compilation per (kernel,
+    // shape), everything else replayed from the cache.
+    assert_eq!(
+        stats.misses as usize,
+        kernels * shapes,
+        "expected exactly one compilation per (kernel, shape)"
+    );
+    assert_eq!(stats.stale_fallbacks, 0, "no artifact should go stale mid-sweep");
+    assert_eq!(report.cells.len(), kernels * shapes * cfg.block_scales.len());
+
+    let json = report.to_json();
+    // Self-check: the emitted document parses back to the same report.
+    let parsed = SweepReport::from_json(&json).expect("emitted JSON re-parses");
+    assert_eq!(&parsed, report, "JSON round trip must be lossless");
+
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("sweep: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -42,7 +42,8 @@ fn main() {
     println!("{}", t.render());
 
     println!("Die overhead scaled to the 106 mm2 0.18um Pentium III (paper §5.1):\n");
-    let mut d = Table::new(&["config", "contexts", "SPU mm2 @0.18um", "% of die", "delay ns @0.18um"]);
+    let mut d =
+        Table::new(&["config", "contexts", "SPU mm2 @0.18um", "% of die", "delay ns @0.18um"]);
     for s in table1_shapes() {
         for contexts in [1usize, 4] {
             let o = DieOverhead::evaluate(&s, contexts, &Technology::PIII_018);

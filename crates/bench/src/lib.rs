@@ -10,6 +10,7 @@
 //! | `table2`          | Table 2 — branch statistics |
 //! | `table3`          | Table 3 — permutations off-loaded through decoupled control |
 //! | `ablation_shapes` | §6 discussion — per-kernel minimal crossbar shape and cost/benefit across shapes A–D |
+//! | `sweep`           | the full kernel × shape matrix as a JSON [`sweep::SweepReport`] |
 //! | `all`             | everything above in sequence |
 //!
 //! Measured values print alongside the published ones. Absolute
@@ -17,28 +18,35 @@
 //! (the paper executed each routine millions of times on silicon; the
 //! simulator executes a handful of blocks exactly and scales — see
 //! DESIGN.md §2).
+//!
+//! All batch measurement traffic flows through the [`sweep`]
+//! orchestration layer (DESIGN.md §4): a parallel job matrix over
+//! kernel × crossbar shape × block count with a shared compiled-program
+//! cache. ([`run_entry`] remains as an uncached one-off probe.)
+
+pub mod json;
+pub mod sweep;
 
 use subword_kernels::framework::Measurement;
-use subword_kernels::suite::{paper_suite, SuiteEntry};
+use subword_kernels::suite::SuiteEntry;
 use subword_spu::crossbar::CrossbarShape;
 
-/// Run the whole Figure 9 suite, one kernel per thread.
+pub use sweep::{
+    run_sweep, run_sweep_with_cache, CompileCache, SweepConfig, SweepReport, SweepRun,
+};
+
+/// Run the whole Figure 9 suite under one shape — a single-shape
+/// [`run_sweep`] pass (parallel over kernels, compilation cached across
+/// block counts).
 pub fn run_suite(shape: &CrossbarShape) -> Vec<Measurement> {
-    let entries = paper_suite();
-    let mut results: Vec<Option<Measurement>> = Vec::new();
-    results.resize_with(entries.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (slot, e) in results.iter_mut().zip(&entries) {
-            s.spawn(move |_| {
-                *slot = Some(run_entry(e, shape));
-            });
-        }
-    })
-    .expect("suite threads");
-    results.into_iter().map(|r| r.expect("kernel measured")).collect()
+    let run = run_sweep(&SweepConfig::paper(std::slice::from_ref(shape)))
+        .unwrap_or_else(|e| panic!("suite sweep: {e}"));
+    run.measurements.into_iter().map(|m| m.measurement).collect()
 }
 
-/// Measure one suite entry.
+/// Measure one suite entry directly — a fresh, uncached lift and run.
+/// One-off probes only: batch work belongs in [`run_sweep`], which
+/// shares compiled artifacts across block counts, scales and shapes.
 pub fn run_entry(e: &SuiteEntry, shape: &CrossbarShape) -> Measurement {
     subword_kernels::framework::measure(e.kernel, e.blocks_small, e.blocks_large, shape)
         .unwrap_or_else(|err| panic!("{}: {err}", e.kernel.name()))
@@ -82,12 +90,7 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');

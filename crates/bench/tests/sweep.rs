@@ -1,0 +1,126 @@
+//! Integration tests of the sweep orchestration layer: the compiled-
+//! program cache must be invisible to results, the job matrix must equal
+//! independent per-shape suite runs, and reports must survive JSON.
+
+use subword_bench::run_suite;
+use subword_bench::sweep::{run_sweep, CacheStats, CompileCache, SweepConfig, SweepReport};
+use subword_kernels::framework::{measure, measure_with};
+use subword_kernels::suite::{dotprod_example, paper_suite};
+use subword_spu::crossbar::CANONICAL_SHAPES;
+use subword_spu::{SHAPE_A, SHAPE_D};
+
+/// (a) Cached vs uncached compilation yields identical `Measurement`s —
+/// the whole `Measurement`, per-loop compile reports included.
+#[test]
+fn cached_compilation_is_invisible_to_measurements() {
+    let mut entries = vec![dotprod_example()];
+    entries.extend(paper_suite().into_iter().take(2)); // FIR12, FIR22
+    for shape in [SHAPE_A, SHAPE_D] {
+        let cache = CompileCache::new();
+        for e in &entries {
+            let uncached = measure(e.kernel, e.blocks_small, e.blocks_large, &shape).unwrap();
+            let key = e.kernel.name();
+            let cached = measure_with(
+                e.kernel,
+                e.blocks_small,
+                e.blocks_large,
+                &shape,
+                &|program, shape| cache.lift(key, program, shape),
+            )
+            .unwrap();
+            assert_eq!(uncached, cached, "{key} under shape {}", shape.name);
+
+            // And a *second* cached measurement (all artifact replays,
+            // zero fresh analyses) still agrees.
+            let replayed = measure_with(
+                e.kernel,
+                e.blocks_small,
+                e.blocks_large,
+                &shape,
+                &|program, shape| cache.lift(key, program, shape),
+            )
+            .unwrap();
+            assert_eq!(uncached, replayed, "{key} replay under shape {}", shape.name);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, entries.len() as u64, "one analysis per kernel");
+        assert_eq!(stats.stale_fallbacks, 0);
+        // Four lifts per kernel (2 measurements x 2 block counts), one
+        // of which was the analysis.
+        assert_eq!(stats.hits, 3 * entries.len() as u64);
+    }
+}
+
+/// (b) One 4-shape sweep equals four independent `run_suite` calls, and
+/// compiles exactly once per (kernel, shape).
+#[test]
+fn four_shape_sweep_equals_independent_suite_runs() {
+    let run = run_sweep(&SweepConfig::paper(&CANONICAL_SHAPES)).unwrap();
+    let kernels = paper_suite().len();
+
+    assert_eq!(run.report.cells.len(), kernels * CANONICAL_SHAPES.len());
+    assert_eq!(
+        run.report.cache,
+        CacheStats {
+            misses: (kernels * CANONICAL_SHAPES.len()) as u64,
+            hits: (kernels * CANONICAL_SHAPES.len()) as u64,
+            stale_fallbacks: 0,
+        },
+        "exactly one compilation per (kernel, shape), one replay for the second block count"
+    );
+
+    for shape in CANONICAL_SHAPES {
+        let suite = run_suite(&shape);
+        let swept = run.report.for_shape(shape.name);
+        assert_eq!(suite.len(), swept.len());
+        for (independent, cell) in suite.iter().zip(swept) {
+            assert_eq!(independent.name, cell.kernel());
+            assert_eq!(
+                independent.record(),
+                cell.record,
+                "{} under shape {}",
+                cell.kernel(),
+                shape.name
+            );
+        }
+    }
+}
+
+/// (c) `SweepReport` JSON round-trips losslessly.
+#[test]
+fn sweep_report_round_trips_through_json() {
+    let mut cfg = SweepConfig::full(&[SHAPE_A, SHAPE_D]);
+    cfg.entries.truncate(3);
+    cfg.block_scales = vec![1, 2];
+    let run = run_sweep(&cfg).unwrap();
+
+    let json = run.report.to_json();
+    let parsed = SweepReport::from_json(&json).unwrap();
+    assert_eq!(parsed, run.report);
+
+    // The second scale reuses every compiled artifact.
+    assert_eq!(run.report.cache.misses, (cfg.entries.len() * 2) as u64);
+    assert_eq!(run.report.cache.hits, 3 * (cfg.entries.len() * 2) as u64);
+
+    // Steady-state per-block cycles are scale-invariant: the same kernel
+    // measured at 2x the block count reports the same per-block cost.
+    for cell in run.report.cells.iter().filter(|c| c.scale == 1) {
+        let scaled = run
+            .report
+            .cells
+            .iter()
+            .find(|c| c.scale == 2 && c.kernel() == cell.kernel() && c.shape == cell.shape)
+            .unwrap();
+        assert_eq!(
+            cell.record.baseline_per_block.cycles,
+            scaled.record.baseline_per_block.cycles,
+            "{}/{} per-block cycles must not depend on run length",
+            cell.kernel(),
+            cell.shape
+        );
+    }
+
+    // Corrupted documents are rejected, not mis-parsed.
+    assert!(SweepReport::from_json("{}").is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v1", "v0")).is_err());
+}

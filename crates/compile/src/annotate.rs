@@ -13,11 +13,7 @@ pub fn annotate(result: &TransformResult) -> String {
         // The transformed loop body follows the GO store for this context;
         // find it by matching the loop whose body length equals the SPU
         // program's state count.
-        let Some(l) = p
-            .loops
-            .iter()
-            .find(|l| l.back_edge - l.head + 1 == spu.state_count())
-        else {
+        let Some(l) = p.loops.iter().find(|l| l.back_edge - l.head + 1 == spu.state_count()) else {
             continue;
         };
         out.push_str(&format!(

@@ -129,7 +129,7 @@ pub fn resolve_byte(
     pos: usize,
     reg: MmReg,
     byte: u8,
-    ) -> Result<ResolvedByte, ChainFail> {
+) -> Result<ResolvedByte, ChainFail> {
     let len = body.len();
     let mut cur_reg = reg;
     let mut cur_byte = byte;
@@ -386,8 +386,7 @@ mod tests {
         // w: paddw mm1, mm3 (kept) at 2  -- clobbers mm1!
         // c: paddw mm4, mm2 at 3
         let ld2 = Instr::MovqLoad { dst: MM2, addr: subword_isa::Mem::abs(0) };
-        let body =
-            vec![ld2, unpack_lwd(MM2, MM1), padd(MM1, MM3), padd(MM4, MM2), Instr::Nop];
+        let body = vec![ld2, unpack_lwd(MM2, MM1), padd(MM1, MM3), padd(MM4, MM2), Instr::Nop];
         let removal = BTreeSet::from([1usize]);
         // Byte 2 routes from mm1, which position 2 rewrites before the
         // consumer: chain must fail and blame the unpack.

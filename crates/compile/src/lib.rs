@@ -27,6 +27,7 @@
 //! compares the declared output ranges byte for byte.
 
 pub mod annotate;
+pub mod artifact;
 pub mod chains;
 pub mod liveness;
 pub mod pass;
@@ -35,5 +36,9 @@ pub mod verify;
 
 pub use annotate::annotate;
 
-pub use pass::{lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, TransformResult};
+pub use artifact::{analyze, analyze_with_result, CompiledKernel};
+
+pub use pass::{
+    lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, TransformResult,
+};
 pub use verify::{differential, TestSetup};

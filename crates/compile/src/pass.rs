@@ -27,6 +27,9 @@ pub enum CompileError {
     BadProgram(String),
     /// The rewritten program failed validation (internal error).
     RewriteFailed(String),
+    /// A cached [`crate::CompiledKernel`] no longer matches the program
+    /// it was applied to (see [`crate::analyze`]).
+    StaleArtifact(String),
 }
 
 impl fmt::Display for CompileError {
@@ -34,6 +37,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::BadProgram(e) => write!(f, "input program invalid: {e}"),
             CompileError::RewriteFailed(e) => write!(f, "rewrite produced invalid program: {e}"),
+            CompileError::StaleArtifact(e) => write!(f, "stale compilation artifact: {e}"),
         }
     }
 }
@@ -66,7 +70,7 @@ pub enum LoopStatus {
 }
 
 /// Per-loop transformation report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoopReport {
     /// Loop head index in the *original* program.
     pub head: usize,
@@ -87,7 +91,7 @@ pub struct LoopReport {
 }
 
 /// Whole-program transformation report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompileReport {
     /// Program name.
     pub name: String,
@@ -162,28 +166,48 @@ pub fn lift_permutes(
     shape: &CrossbarShape,
 ) -> Result<TransformResult, CompileError> {
     program.validate().map_err(|e| CompileError::BadProgram(e.to_string()))?;
-
     let live_in = mm_live_in(program);
-    let mut reports = Vec::new();
-    let mut plans: Vec<LoopPlan> = Vec::new();
-    let mut next_ctx = 0usize;
+    let shape = *shape;
+    transform_with(program, move |program, l, trips, _ordinal, next_ctx| {
+        plan_loop(program, &live_in, l, trips, &shape, next_ctx)
+    })
+}
 
-    // Innermost loops only: a loop is innermost if no other loop nests
-    // strictly inside it.
+/// Innermost loops in head order: a loop is innermost if no other loop
+/// nests strictly inside it.
+pub(crate) fn innermost_loops(program: &Program) -> Vec<&LoopInfo> {
     let mut loops: Vec<&LoopInfo> = program
         .loops
         .iter()
         .filter(|l| {
-            !program
-                .loops
-                .iter()
-                .any(|o| (o.head > l.head && o.back_edge <= l.back_edge)
-                    || (o.head >= l.head && o.back_edge < l.back_edge))
+            !program.loops.iter().any(|o| {
+                (o.head > l.head && o.back_edge <= l.back_edge)
+                    || (o.head >= l.head && o.back_edge < l.back_edge)
+            })
         })
         .collect();
     loops.sort_by_key(|l| l.head);
+    loops
+}
 
-    for l in loops {
+/// Shared transformation skeleton: structural checks, reporting, context
+/// allocation and the final rewrite. `planner` is asked for a [`LoopPlan`]
+/// for every structurally eligible innermost loop (arguments: program,
+/// loop, trip count, loop ordinal among innermost loops, next free
+/// context) — the full pass plugs in [`plan_loop`], a cached
+/// [`crate::CompiledKernel`] replays a stored plan instead.
+pub(crate) fn transform_with(
+    program: &Program,
+    mut planner: impl FnMut(&Program, &LoopInfo, u64, usize, usize) -> Option<LoopPlan>,
+) -> Result<TransformResult, CompileError> {
+    // Callers (`lift_permutes`, `analyze`, `apply`) have already
+    // validated `program`; validating again here would double the cost
+    // on the sweep's hot path.
+    let mut reports = Vec::new();
+    let mut plans: Vec<LoopPlan> = Vec::new();
+    let mut next_ctx = 0usize;
+
+    for (ordinal, l) in innermost_loops(program).into_iter().enumerate() {
         let mut rep = LoopReport {
             head: l.head,
             body_len: l.body_len(),
@@ -206,7 +230,7 @@ pub fn lift_permutes(
         }
         let trips = l.trip_count.unwrap();
 
-        match plan_loop(program, &live_in, l, trips, shape, next_ctx) {
+        match planner(program, l, trips, ordinal, next_ctx) {
             Some(plan) => {
                 rep.removed = plan.removal.len();
                 rep.states_used = plan.routes.len();
@@ -225,10 +249,9 @@ pub fn lift_permutes(
     }
 
     let removed_static: usize = plans.iter().map(|p| p.removal.len()).sum();
-    let (program_out, setup_instructions) = rewrite::rewrite(program, &plans)
-        .map_err(CompileError::RewriteFailed)?;
-    let spu_programs =
-        plans.into_iter().map(|p| (p.context, p.spu_program)).collect::<Vec<_>>();
+    let (program_out, setup_instructions) =
+        rewrite::rewrite(program, &plans).map_err(CompileError::RewriteFailed)?;
+    let spu_programs = plans.into_iter().map(|p| (p.context, p.spu_program)).collect::<Vec<_>>();
 
     Ok(TransformResult {
         program: program_out,
@@ -242,8 +265,16 @@ pub fn lift_permutes(
     })
 }
 
+/// Does `states × trips` fit the controller's 32-bit loop counter?
+/// Shared by [`try_routes`] and the artifact replay path
+/// ([`crate::CompiledKernel::apply`]) — the two must agree or cached and
+/// fresh lifts diverge.
+pub(crate) fn counter_fits(states: usize, trips: u64) -> bool {
+    (states as u64).checked_mul(trips).is_some_and(|c| c <= u32::MAX as u64)
+}
+
 /// Structural checks; `Some(status)` = skip with that status.
-fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Option<LoopStatus> {
+pub(crate) fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Option<LoopStatus> {
     let body = &program.instrs[l.head..=l.back_edge];
     if !body.iter().any(is_liftable) {
         return Some(LoopStatus::NoCandidates);
@@ -271,8 +302,7 @@ fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Option<LoopSt
         .iter()
         .enumerate()
         .filter(|(i, ins)| {
-            *i != l.back_edge
-                && ins.branch_target().map(|t| program.resolve(t)) == Some(l.head)
+            *i != l.back_edge && ins.branch_target().map(|t| program.resolve(t)) == Some(l.head)
         })
         .count();
     if head_label_hits > 0 {
@@ -283,7 +313,7 @@ fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Option<LoopSt
 
 /// Plan one loop: choose the removal set by iterative refinement and
 /// build the routes + SPU program.
-fn plan_loop(
+pub(crate) fn plan_loop(
     program: &Program,
     live_in: &[MmMask],
     l: &LoopInfo,
@@ -311,13 +341,7 @@ fn plan_loop(
         }
         match try_routes(&body, &removal, shape, trips) {
             Ok(routes) => {
-                let spu_program = build_spu_program(
-                    &program.name,
-                    &routes,
-                    trips,
-                    shape,
-                    context,
-                );
+                let spu_program = build_spu_program(&program.name, &routes, trips, shape, context);
                 return Some(LoopPlan {
                     head: l.head,
                     removal,
@@ -356,7 +380,11 @@ fn try_routes(
         // guard anyway: blame an arbitrary candidate.
         return Err(*removal.iter().next().unwrap());
     }
-    if (kept_len as u64).checked_mul(trips).is_none() {
+    // The controller's loop counter is 32 bits (`counter_init` holds
+    // `kept × trips`); rejecting here prevents a silently truncated
+    // counter. The cached-replay path re-checks the same bound
+    // ([`counter_fits`]) so fresh and replayed lifts always agree.
+    if !counter_fits(kept_len, trips) {
         return Err(*removal.iter().next().unwrap());
     }
 

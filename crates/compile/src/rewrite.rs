@@ -9,10 +9,7 @@ use subword_spu::mmio::{emit_spu_go, emit_spu_setup};
 
 /// Rebuild `program` according to `plans`. Returns the new program and
 /// the number of setup instructions added (prologue + GO stores).
-pub(crate) fn rewrite(
-    program: &Program,
-    plans: &[LoopPlan],
-) -> Result<(Program, usize), String> {
+pub(crate) fn rewrite(program: &Program, plans: &[LoopPlan]) -> Result<(Program, usize), String> {
     let mut b = ProgramBuilder::new(format!("{}+spu", program.name));
 
     // Prologue: program every context once.
@@ -29,10 +26,8 @@ pub(crate) fn rewrite(
     }
 
     // Deleted global indices and loop-head GO markers.
-    let deleted: std::collections::BTreeSet<usize> = plans
-        .iter()
-        .flat_map(|p| p.removal.iter().map(move |off| p.head + off))
-        .collect();
+    let deleted: std::collections::BTreeSet<usize> =
+        plans.iter().flat_map(|p| p.removal.iter().map(move |off| p.head + off)).collect();
     let go_at: HashMap<usize, &LoopPlan> = plans.iter().map(|p| (p.head, p)).collect();
 
     // Positions of old labels, grouped.

@@ -82,9 +82,7 @@ pub fn differential(
             let off = a.iter().zip(b).position(|(x, y)| x != y).unwrap();
             return Err(format!(
                 "output mismatch at {:#x}+{off}: baseline {:#04x} vs transformed {:#04x}",
-                addr,
-                a[off],
-                b[off]
+                addr, a[off], b[off]
             ));
         }
     }

@@ -128,6 +128,7 @@ fn transpose4_mmx(tiles: i64) -> Program {
     b.movq_rr(MM7, MM4);
     b.mmx_rr(MmxOp::Punpckldq, MM4, MM5); // a2 b2 c2 d2
     b.mmx_rr(MmxOp::Punpckhdq, MM7, MM5); // a3 b3 c3 d3
+
     // Store the four columns.
     b.movq_store(Mem::base(R1), MM0);
     b.movq_store(Mem::base_disp(R1, 8), MM6);
@@ -168,11 +169,7 @@ fn figure3_transpose_needs_no_unpacks_with_spu() {
     let setup = transpose_setup(tiles as usize);
     let d = differential(&p, &r.program, &SHAPE_A, &setup).unwrap();
     assert_eq!(d.transformed.mmx_realignments, 0);
-    assert!(
-        d.speedup() > 1.2,
-        "transpose should speed up substantially, got {:.3}",
-        d.speedup()
-    );
+    assert!(d.speedup() > 1.2, "transpose should speed up substantially, got {:.3}", d.speedup());
 
     // The transpose routes span MM0..MM3 at word granularity: shape D
     // must also work (paper §5.1).
@@ -357,13 +354,9 @@ fn transformed_program_shrinks_code_size() {
         .iter()
         .map(subword_isa::encode::encoded_size)
         .sum();
-    let new_loop: usize = r.program.instrs
-        [r.program.loops[0].head..=r.program.loops[0].back_edge]
+    let new_loop: usize = r.program.instrs[r.program.loops[0].head..=r.program.loops[0].back_edge]
         .iter()
         .map(subword_isa::encode::encoded_size)
         .sum();
-    assert!(
-        new_loop < base_loop,
-        "loop code should shrink: {new_loop} vs {base_loop} bytes"
-    );
+    assert!(new_loop < base_loop, "loop code should shrink: {new_loop} vs {base_loop} bytes");
 }

@@ -126,10 +126,7 @@ impl CrossbarModel {
 /// Convenience: model values for the four canonical shapes in Table 1
 /// order.
 pub fn canonical_rows(model: &CrossbarModel) -> Vec<(CrossbarShape, f64, f64)> {
-    CANONICAL_SHAPES
-        .iter()
-        .map(|s| (*s, model.area_mm2(s), model.delay_ns(s)))
-        .collect()
+    CANONICAL_SHAPES.iter().map(|s| (*s, model.area_mm2(s), model.delay_ns(s))).collect()
 }
 
 /// The canonical shapes in the same order as [`TABLE1`].

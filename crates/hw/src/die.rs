@@ -60,22 +60,14 @@ mod tests {
     #[test]
     fn shape_a_under_one_percent() {
         let o = DieOverhead::evaluate(&SHAPE_A, 1, &Technology::PIII_018);
-        assert!(
-            o.die_fraction < 0.05,
-            "shape A: {:.2}% of die",
-            100.0 * o.die_fraction
-        );
+        assert!(o.die_fraction < 0.05, "shape A: {:.2}% of die", 100.0 * o.die_fraction);
         // The paper's claim is < 1%; our conservative model should land
         // in the low single-percent range at worst for A...
         assert!(o.die_fraction < 0.045);
         // ... and comfortably under 1% for the shape that suffices for all
         // kernels (D).
         let d = DieOverhead::evaluate(&SHAPE_D, 1, &Technology::PIII_018);
-        assert!(
-            d.die_fraction < 0.02,
-            "shape D: {:.2}% of die",
-            100.0 * d.die_fraction
-        );
+        assert!(d.die_fraction < 0.02, "shape D: {:.2}% of die", 100.0 * d.die_fraction);
     }
 
     #[test]

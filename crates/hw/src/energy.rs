@@ -110,8 +110,7 @@ impl EnergyModel {
             front_end: s.instructions as f64 * self.front_end_nj,
             compute,
             memory: (s.loads + s.stores) as f64 * self.mem_nj,
-            branch: s.branches as f64 * self.branch_nj
-                + s.mispredicts as f64 * self.flush_nj,
+            branch: s.branches as f64 * self.branch_nj + s.mispredicts as f64 * self.flush_nj,
             spu,
             clock: s.cycles as f64 * self.cycle_nj,
         }

@@ -110,8 +110,7 @@ fn parse_mem(s: &str, line: usize) -> Result<Mem, AsmError> {
         if let Some((rs, ss)) = t.split_once('*') {
             let r = parse_gp(rs.trim())
                 .ok_or_else(|| err(line, format!("bad index register `{rs}`")))?;
-            let sc = parse_int(ss)
-                .ok_or_else(|| err(line, format!("bad scale `{ss}`")))? as u8;
+            let sc = parse_int(ss).ok_or_else(|| err(line, format!("bad scale `{ss}`")))? as u8;
             if tneg {
                 return Err(err(line, "negative scaled index is not supported"));
             }
@@ -161,9 +160,8 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
             let (Some(label), Some(count)) = (it.next(), it.next()) else {
                 return Err(err(line, ".trips expects `<label> <count>`"));
             };
-            let count = count
-                .parse::<u64>()
-                .map_err(|_| err(line, format!("bad trip count `{count}`")))?;
+            let count =
+                count.parse::<u64>().map_err(|_| err(line, format!("bad trip count `{count}`")))?;
             trips.push((line, label.to_string(), count));
             continue;
         }
@@ -199,13 +197,8 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
         instrs.push(parse_instr(&p.text, p.line, &label_ids)?);
     }
 
-    let mut prog = Program {
-        name: name.to_string(),
-        instrs,
-        label_pos,
-        label_names,
-        loops: Vec::new(),
-    };
+    let mut prog =
+        Program { name: name.to_string(), instrs, label_pos, label_names, loops: Vec::new() };
 
     // Resolve `.trips` directives: the back edge is the last branch
     // targeting the named label.
@@ -286,7 +279,9 @@ fn parse_instr(
         need(2)?;
         let (a, b) = (&ops[0], &ops[1]);
         return match (parse_mm(a), parse_mm(b)) {
-            (Some(d), Some(s)) => Ok(Instr::Mmx { op: MmxOp::Movq, dst: d, src: MmxOperand::Reg(s) }),
+            (Some(d), Some(s)) => {
+                Ok(Instr::Mmx { op: MmxOp::Movq, dst: d, src: MmxOperand::Reg(s) })
+            }
             (Some(d), None) => Ok(Instr::MovqLoad { dst: d, addr: parse_mem(b, line)? }),
             (None, Some(s)) => Ok(Instr::MovqStore { addr: parse_mem(a, line)?, src: s }),
             _ => Err(err(line, "movq needs at least one mm operand")),
@@ -339,9 +334,7 @@ fn parse_instr(
         let b = if let Some(r) = parse_gp(&ops[1]) {
             GpOperand::Reg(r)
         } else {
-            GpOperand::Imm(
-                parse_int(&ops[1]).ok_or_else(|| err(line, "bad second operand"))? as i32
-            )
+            GpOperand::Imm(parse_int(&ops[1]).ok_or_else(|| err(line, "bad second operand"))? as i32)
         };
         return Ok(if mn == "cmp" { Instr::Cmp { a, b } } else { Instr::Test { a, b } });
     }
@@ -390,14 +383,12 @@ fn parse_instr(
     // Remaining scalar ALU ops.
     if let Some(op) = AluOp::from_mnemonic(mn) {
         need(2)?;
-        let dst = parse_gp(&ops[0])
-            .ok_or_else(|| err(line, format!("`{mn}` destination must be rN")))?;
+        let dst =
+            parse_gp(&ops[0]).ok_or_else(|| err(line, format!("`{mn}` destination must be rN")))?;
         let src = if let Some(r) = parse_gp(&ops[1]) {
             GpOperand::Reg(r)
         } else {
-            GpOperand::Imm(
-                parse_int(&ops[1]).ok_or_else(|| err(line, "bad source operand"))? as i32
-            )
+            GpOperand::Imm(parse_int(&ops[1]).ok_or_else(|| err(line, "bad source operand"))? as i32)
         };
         return Ok(Instr::Alu { op, dst, src });
     }
@@ -524,7 +515,10 @@ mod tests {
     #[test]
     fn shift_immediates() {
         let p = assemble("t", "psrlq mm0, 32\nhalt\n").unwrap();
-        assert_eq!(p.instrs[0], Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(32) }
+        );
     }
 
     #[test]
@@ -564,10 +558,19 @@ mod tests {
 
     #[test]
     fn trips_directive_errors() {
-        assert!(assemble("t", ".trips nowhere 4\nhalt\n").unwrap_err().msg.contains("unknown label"));
+        assert!(assemble("t", ".trips nowhere 4\nhalt\n")
+            .unwrap_err()
+            .msg
+            .contains("unknown label"));
         assert!(assemble("t", ".trips\nhalt\n").unwrap_err().msg.contains("expects"));
-        assert!(assemble("t", ".trips x y\nx:\nhalt\n").unwrap_err().msg.contains("bad trip count"));
-        assert!(assemble("t", ".trips x 4\nx:\n nop\nhalt\n").unwrap_err().msg.contains("no branch"));
+        assert!(assemble("t", ".trips x y\nx:\nhalt\n")
+            .unwrap_err()
+            .msg
+            .contains("bad trip count"));
+        assert!(assemble("t", ".trips x 4\nx:\n nop\nhalt\n")
+            .unwrap_err()
+            .msg
+            .contains("no branch"));
         assert!(assemble("t", ".bogus\nhalt\n").unwrap_err().msg.contains("unknown directive"));
     }
 

@@ -85,8 +85,8 @@ impl ProgramBuilder {
     ///
     /// Call immediately after emitting the back-edge branch.
     pub fn mark_loop(&mut self, head: Label, trip_count: Option<u64>) {
-        let head_pos = self.label_pos[head.0 as usize]
-            .expect("mark_loop requires the head label to be bound");
+        let head_pos =
+            self.label_pos[head.0 as usize].expect("mark_loop requires the head label to be bound");
         let back_edge = self.instrs.len().checked_sub(1).expect("mark_loop with no instructions");
         self.loops.push(LoopInfo { head: head_pos, back_edge, trip_count });
     }

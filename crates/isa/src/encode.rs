@@ -93,18 +93,9 @@ mod tests {
             4
         );
         assert_eq!(encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::base(R0) }), 3);
-        assert_eq!(
-            encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::base_disp(R0, 8) }),
-            4
-        );
-        assert_eq!(
-            encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::base_disp(R0, 1000) }),
-            7
-        );
-        assert_eq!(
-            encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::bisd(R0, R1, 8, 8) }),
-            5
-        );
+        assert_eq!(encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::base_disp(R0, 8) }), 4);
+        assert_eq!(encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::base_disp(R0, 1000) }), 7);
+        assert_eq!(encoded_size(&Instr::MovqLoad { dst: MM0, addr: Mem::bisd(R0, R1, 8, 8) }), 5);
         assert_eq!(
             encoded_size(&Instr::Alu { op: AluOp::Add, dst: R0, src: GpOperand::Reg(R1) }),
             2

@@ -187,7 +187,10 @@ impl Instr {
     pub fn spu_routable(&self) -> bool {
         matches!(
             self,
-            Instr::Mmx { .. } | Instr::MovqStore { .. } | Instr::MovdStore { .. } | Instr::MovdFromMm { .. }
+            Instr::Mmx { .. }
+                | Instr::MovqStore { .. }
+                | Instr::MovdStore { .. }
+                | Instr::MovdFromMm { .. }
         )
     }
 

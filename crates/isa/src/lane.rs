@@ -63,9 +63,7 @@ pub fn words_of(v: u64) -> [u16; 4] {
 /// Assemble a 64-bit vector from 4 unsigned words, lane 0 first.
 #[inline]
 pub fn from_words(w: [u16; 4]) -> u64 {
-    w.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &x)| acc | (x as u64) << (16 * i))
+    w.iter().enumerate().fold(0u64, |acc, (i, &x)| acc | (x as u64) << (16 * i))
 }
 
 /// Split a 64-bit vector into its 4 signed 16-bit words, lane 0 first.

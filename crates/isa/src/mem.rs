@@ -53,9 +53,7 @@ impl Mem {
 
     /// Registers read when computing the effective address.
     pub fn regs(&self) -> impl Iterator<Item = GpReg> + '_ {
-        self.base
-            .into_iter()
-            .chain(self.index.map(|(r, _)| r))
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
     }
 
     /// Compute the effective address given a register-read callback.

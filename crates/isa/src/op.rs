@@ -198,8 +198,8 @@ impl MmxOp {
     pub fn lane(self) -> Lane {
         use MmxOp::*;
         match self {
-            Paddb | Psubb | Paddsb | Psubsb | Paddusb | Psubusb | Pcmpeqb | Pcmpgtb
-            | Punpcklbw | Punpckhbw | Packsswb | Packuswb => Lane::B,
+            Paddb | Psubb | Paddsb | Psubsb | Paddusb | Psubusb | Pcmpeqb | Pcmpgtb | Punpcklbw
+            | Punpckhbw | Packsswb | Packuswb => Lane::B,
             Paddw | Psubw | Paddsw | Psubsw | Paddusw | Psubusw | Pmullw | Pmulhw | Pcmpeqw
             | Pcmpgtw | Psllw | Psrlw | Psraw | Punpcklwd | Punpckhwd | Packssdw => Lane::W,
             Paddd | Psubd | Pmaddwd | Pcmpeqd | Pcmpgtd | Pslld | Psrld | Psrad | Punpckldq
@@ -463,10 +463,7 @@ mod tests {
 
     #[test]
     fn shifter_class_covers_shift_pack_unpack() {
-        assert_eq!(
-            MmxOp::ALL.iter().filter(|o| o.is_shifter_class()).count(),
-            8 + 3 + 6
-        );
+        assert_eq!(MmxOp::ALL.iter().filter(|o| o.is_shifter_class()).count(), 8 + 3 + 6);
         assert!(MmxOp::Punpckhwd.is_shifter_class());
         assert!(MmxOp::Packssdw.is_shifter_class());
         assert!(MmxOp::Psrlq.is_shifter_class());
@@ -477,10 +474,7 @@ mod tests {
     #[test]
     fn realignment_class() {
         // packs(3) + unpacks(6) + psllq/psrlq(2) + movq(1)
-        assert_eq!(
-            MmxOp::ALL.iter().filter(|o| o.is_realignment_class()).count(),
-            12
-        );
+        assert_eq!(MmxOp::ALL.iter().filter(|o| o.is_realignment_class()).count(), 12);
         assert!(MmxOp::Punpcklwd.is_realignment_class());
         assert!(MmxOp::Psrlq.is_realignment_class());
         assert!(!MmxOp::Psraw.is_realignment_class());

@@ -110,10 +110,7 @@ impl Program {
 
     /// Look up a bound label by name.
     pub fn find_label(&self, name: &str) -> Option<Label> {
-        self.label_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| Label(i as u32))
+        self.label_names.iter().position(|n| n == name).map(|i| Label(i as u32))
     }
 
     /// Number of instructions.
@@ -154,9 +151,7 @@ impl Program {
             let ok = l.head <= l.back_edge
                 && l.back_edge < self.instrs.len()
                 && match self.instrs[l.back_edge].branch_target() {
-                    Some(t) => {
-                        self.label_pos.get(t.0 as usize).copied().flatten() == Some(l.head)
-                    }
+                    Some(t) => self.label_pos.get(t.0 as usize).copied().flatten() == Some(l.head),
                     None => false,
                 };
             if !ok {
@@ -192,10 +187,7 @@ impl Program {
     /// "Innermost" means the loop with the smallest body among those whose
     /// `[head, back_edge]` range contains `i`.
     pub fn innermost_loop_at(&self, i: usize) -> Option<&LoopInfo> {
-        self.loops
-            .iter()
-            .filter(|l| l.head <= i && i <= l.back_edge)
-            .min_by_key(|l| l.body_len())
+        self.loops.iter().filter(|l| l.head <= i && i <= l.back_edge).min_by_key(|l| l.body_len())
     }
 }
 
@@ -293,10 +285,7 @@ mod tests {
         let mut b = ProgramBuilder::new("bad");
         b.raw(Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Imm(3) });
         let p = b.finish_unchecked();
-        assert!(matches!(
-            p.validate(),
-            Err(ProgramError::BadImmediateOperand { .. })
-        ));
+        assert!(matches!(p.validate(), Err(ProgramError::BadImmediateOperand { .. })));
     }
 
     #[test]

@@ -125,8 +125,7 @@ pub fn pmullw(d: u64, s: u64) -> u64 {
 
 /// `pmulhw` — high 16 bits of each signed 16×16 product.
 pub fn pmulhw(d: u64, s: u64) -> u64 {
-    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| ((a as i32 * b as i32) >> 16)
-        as i16)
+    lanewise!(iwords_of, from_iwords, d, s, |a: i16, b: i16| ((a as i32 * b as i32) >> 16) as i16)
 }
 
 /// `pmaddwd` — multiply packed signed words, add adjacent 32-bit products
@@ -177,11 +176,7 @@ pub fn pcmpeqw(d: u64, s: u64) -> u64 {
 
 /// `pcmpeqd` — double-word equality masks.
 pub fn pcmpeqd(d: u64, s: u64) -> u64 {
-    lanewise!(dwords_of, from_dwords, d, s, |a, b| if mask_all(a, b) {
-        0xffff_ffffu32
-    } else {
-        0
-    })
+    lanewise!(dwords_of, from_dwords, d, s, |a, b| if mask_all(a, b) { 0xffff_ffffu32 } else { 0 })
 }
 
 /// `pcmpgtb` — signed byte greater-than masks.
@@ -549,14 +544,8 @@ mod tests {
     fn packs_saturate() {
         let d = from_iwords([300, -300, 5, -5]);
         let s = from_iwords([127, -128, 200, -200]);
-        assert_eq!(
-            ibytes_of(packsswb(d, s)),
-            [127, -128, 5, -5, 127, -128, 127, -128]
-        );
-        assert_eq!(
-            bytes_of(packuswb(d, s)),
-            [255, 0, 5, 0, 127, 0, 200, 0]
-        );
+        assert_eq!(ibytes_of(packsswb(d, s)), [127, -128, 5, -5, 127, -128, 127, -128]);
+        assert_eq!(bytes_of(packuswb(d, s)), [255, 0, 5, 0, 127, 0, 200, 0]);
         let d = from_idwords([70000, -70000]);
         let s = from_idwords([1234, -1]);
         assert_eq!(iwords_of(packssdw(d, s)), [i16::MAX, i16::MIN, 1234, -1]);

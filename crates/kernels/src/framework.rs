@@ -9,10 +9,18 @@
 //! prologues and cold-predictor effects.
 
 use crate::paper::PaperRow;
-use subword_compile::{lift_permutes, CompileReport, TestSetup};
+use subword_compile::{lift_permutes, CompileReport, TestSetup, TransformResult};
 use subword_isa::program::Program;
 use subword_sim::{Machine, MachineConfig, SimStats};
 use subword_spu::crossbar::CrossbarShape;
+
+/// Hook producing the MMX+SPU variant of a program for [`measure_with`]:
+/// given the MMX-only program and the target crossbar shape, return the
+/// lifted result. The default ([`measure`]) runs a fresh
+/// [`lift_permutes`]; the sweep harness plugs in a compiled-program cache
+/// that replays a [`subword_compile::CompiledKernel`] instead.
+pub type LiftFn<'a> =
+    &'a (dyn Fn(&Program, &CrossbarShape) -> Result<TransformResult, String> + Sync);
 
 /// A fully materialised kernel instance.
 pub struct KernelBuild {
@@ -60,7 +68,7 @@ pub trait Kernel: Sync {
 }
 
 /// Steady-state per-block statistics for one variant.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VariantStats {
     /// Per-block steady-state counters.
     pub per_block: SimStats,
@@ -69,6 +77,7 @@ pub struct VariantStats {
 }
 
 /// A complete paper-methodology measurement of one kernel.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     /// Kernel name.
     pub name: &'static str,
@@ -82,40 +91,150 @@ pub struct Measurement {
     pub blocks: (u64, u64),
 }
 
+/// The derived-metric formulas, defined once over the two per-block
+/// counter sets; [`Measurement`] and [`MeasurementRecord`] both delegate
+/// here.
+mod metrics {
+    use super::{PaperRow, SimStats};
+
+    pub fn speedup(base: &SimStats, spu: &SimStats) -> f64 {
+        base.cycles as f64 / spu.cycles.max(1) as f64
+    }
+
+    pub fn pct_cycles_saved(base: &SimStats, spu: &SimStats) -> f64 {
+        100.0 * (1.0 - spu.cycles as f64 / base.cycles.max(1) as f64)
+    }
+
+    pub fn offloaded_per_block(base: &SimStats, spu: &SimStats) -> u64 {
+        base.mmx_realignments - spu.mmx_realignments
+    }
+
+    pub fn pct_mmx_instr(base: &SimStats, spu: &SimStats) -> f64 {
+        100.0 * offloaded_per_block(base, spu) as f64 / base.mmx_instructions.max(1) as f64
+    }
+
+    pub fn pct_total_instr(base: &SimStats, spu: &SimStats) -> f64 {
+        100.0 * offloaded_per_block(base, spu) as f64 / base.instructions.max(1) as f64
+    }
+
+    pub fn paper_scale(base: &SimStats, paper: &PaperRow) -> f64 {
+        paper.clocks / base.cycles.max(1) as f64
+    }
+}
+
 impl Measurement {
     /// Per-block cycle speedup from the SPU.
     pub fn speedup(&self) -> f64 {
-        self.baseline.per_block.cycles as f64 / self.spu.per_block.cycles as f64
+        metrics::speedup(&self.baseline.per_block, &self.spu.per_block)
     }
 
     /// Percentage of cycles saved (how Figure 9 is usually read).
     pub fn pct_cycles_saved(&self) -> f64 {
-        100.0 * (1.0 - self.spu.per_block.cycles as f64 / self.baseline.per_block.cycles as f64)
+        metrics::pct_cycles_saved(&self.baseline.per_block, &self.spu.per_block)
     }
 
     /// Off-loaded permutations per block (dynamic).
     pub fn offloaded_per_block(&self) -> u64 {
-        self.baseline.per_block.mmx_realignments - self.spu.per_block.mmx_realignments
+        metrics::offloaded_per_block(&self.baseline.per_block, &self.spu.per_block)
     }
 
     /// Off-loaded permutations as % of baseline MMX instructions —
     /// Table 3's "% MMX Instr".
     pub fn pct_mmx_instr(&self) -> f64 {
-        100.0 * self.offloaded_per_block() as f64
-            / self.baseline.per_block.mmx_instructions.max(1) as f64
+        metrics::pct_mmx_instr(&self.baseline.per_block, &self.spu.per_block)
     }
 
     /// Off-loaded permutations as % of total instructions — Table 3's
     /// "Total Instr".
     pub fn pct_total_instr(&self) -> f64 {
-        100.0 * self.offloaded_per_block() as f64
-            / self.baseline.per_block.instructions.max(1) as f64
+        metrics::pct_total_instr(&self.baseline.per_block, &self.spu.per_block)
     }
 
     /// Scale factor to print per-block numbers at the paper's magnitude
     /// (the paper ran ~10^10 clocks per benchmark).
     pub fn paper_scale(&self, paper: &PaperRow) -> f64 {
-        paper.clocks / self.baseline.per_block.cycles.max(1) as f64
+        metrics::paper_scale(&self.baseline.per_block, paper)
+    }
+
+    /// Flatten into the serializable [`MeasurementRecord`] schema.
+    pub fn record(&self) -> MeasurementRecord {
+        MeasurementRecord {
+            kernel: self.name.to_string(),
+            blocks: self.blocks,
+            baseline_per_block: self.baseline.per_block,
+            baseline_total: self.baseline.total,
+            spu_per_block: self.spu.per_block,
+            spu_total: self.spu.total,
+            removed_static: self.report.removed_static as u64,
+            setup_instructions: self.report.setup_instructions as u64,
+            candidates: self.report.candidates() as u64,
+            transformed_loops: self
+                .report
+                .loops
+                .iter()
+                .filter(|l| l.status == subword_compile::LoopStatus::Transformed)
+                .count() as u64,
+        }
+    }
+}
+
+/// The plain-data measurement schema: everything a report consumer needs,
+/// flattened to named numbers so harnesses can serialize it without
+/// carrying live compiler state. Produced by [`Measurement::record`];
+/// consumed (and JSON round-tripped) by the `subword-bench` sweep layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasurementRecord {
+    /// Kernel name matching the paper's tables.
+    pub kernel: String,
+    /// Block counts used (small, large).
+    pub blocks: (u64, u64),
+    /// MMX-only steady-state per-block counters.
+    pub baseline_per_block: SimStats,
+    /// MMX-only whole-run counters at the larger block count.
+    pub baseline_total: SimStats,
+    /// MMX+SPU steady-state per-block counters.
+    pub spu_per_block: SimStats,
+    /// MMX+SPU whole-run counters at the larger block count.
+    pub spu_total: SimStats,
+    /// Static realignment instructions the pass removed.
+    pub removed_static: u64,
+    /// Instructions the pass added (MMIO prologue + GO stores).
+    pub setup_instructions: u64,
+    /// Liftable candidates the pass saw.
+    pub candidates: u64,
+    /// Loops actually transformed.
+    pub transformed_loops: u64,
+}
+
+impl MeasurementRecord {
+    /// Per-block cycle speedup from the SPU.
+    pub fn speedup(&self) -> f64 {
+        metrics::speedup(&self.baseline_per_block, &self.spu_per_block)
+    }
+
+    /// Percentage of cycles saved (how Figure 9 is usually read).
+    pub fn pct_cycles_saved(&self) -> f64 {
+        metrics::pct_cycles_saved(&self.baseline_per_block, &self.spu_per_block)
+    }
+
+    /// Off-loaded permutations per block (dynamic).
+    pub fn offloaded_per_block(&self) -> u64 {
+        metrics::offloaded_per_block(&self.baseline_per_block, &self.spu_per_block)
+    }
+
+    /// Off-loaded permutations as % of baseline MMX instructions.
+    pub fn pct_mmx_instr(&self) -> f64 {
+        metrics::pct_mmx_instr(&self.baseline_per_block, &self.spu_per_block)
+    }
+
+    /// Off-loaded permutations as % of total instructions.
+    pub fn pct_total_instr(&self) -> f64 {
+        metrics::pct_total_instr(&self.baseline_per_block, &self.spu_per_block)
+    }
+
+    /// Scale factor to print per-block numbers at the paper's magnitude.
+    pub fn paper_scale(&self, paper: &PaperRow) -> f64 {
+        metrics::paper_scale(&self.baseline_per_block, paper)
     }
 }
 
@@ -178,11 +297,7 @@ mod tests {
 }
 
 /// Run one variant at one block count, checking outputs.
-fn run_checked(
-    build: &KernelBuild,
-    cfg: MachineConfig,
-    label: &str,
-) -> Result<SimStats, String> {
+fn run_checked(build: &KernelBuild, cfg: MachineConfig, label: &str) -> Result<SimStats, String> {
     let mut m = Machine::new(cfg);
     for (addr, bytes) in &build.setup.mem_init {
         m.mem.write_bytes(*addr, bytes).map_err(|_| format!("{label}: init oob"))?;
@@ -199,22 +314,56 @@ fn run_checked(
 }
 
 /// Measure a kernel with the paper's methodology: baseline and SPU
-/// variants at two block counts; steady-state = difference.
+/// variants at two block counts; steady-state = difference. Runs a fresh
+/// lifting pass per block count; see [`measure_with`] to plug in a
+/// compiled-program cache.
 pub fn measure(
     kernel: &dyn Kernel,
     blocks_small: u64,
     blocks_large: u64,
     shape: &CrossbarShape,
 ) -> Result<Measurement, String> {
+    measure_with(kernel, blocks_small, blocks_large, shape, &|program, shape| {
+        lift_permutes(program, shape).map_err(|e| e.to_string())
+    })
+}
+
+/// [`measure`] with an injectable lifting hook: `lift` is called once per
+/// block-count variant and may serve compiled artifacts from a cache
+/// instead of re-running the pass.
+pub fn measure_with(
+    kernel: &dyn Kernel,
+    blocks_small: u64,
+    blocks_large: u64,
+    shape: &CrossbarShape,
+    lift: LiftFn<'_>,
+) -> Result<Measurement, String> {
+    measure_with_config(kernel, blocks_small, blocks_large, shape, &MachineConfig::default(), lift)
+}
+
+/// [`measure_with`] on a non-default machine: `base` supplies the
+/// micro-architectural parameters (multiplier latencies, BTB, mispredict
+/// penalty, …) for *both* variants; the SPU flag and crossbar are
+/// overridden per variant. This is what parameter-sensitivity sweeps use.
+pub fn measure_with_config(
+    kernel: &dyn Kernel,
+    blocks_small: u64,
+    blocks_large: u64,
+    shape: &CrossbarShape,
+    base: &MachineConfig,
+    lift: LiftFn<'_>,
+) -> Result<Measurement, String> {
     assert!(blocks_small < blocks_large);
+    let mmx_cfg = MachineConfig { spu_fitted: false, ..base.clone() };
+    let spu_cfg = MachineConfig { spu_fitted: true, crossbar: *shape, ..base.clone() };
     let b_small = kernel.build(blocks_small);
     let b_large = kernel.build(blocks_large);
 
-    let base_small = run_checked(&b_small, MachineConfig::mmx_only(), "baseline/small")?;
-    let base_large = run_checked(&b_large, MachineConfig::mmx_only(), "baseline/large")?;
+    let base_small = run_checked(&b_small, mmx_cfg.clone(), "baseline/small")?;
+    let base_large = run_checked(&b_large, mmx_cfg, "baseline/large")?;
 
-    let lifted_small = lift_permutes(&b_small.program, shape).map_err(|e| e.to_string())?;
-    let lifted_large = lift_permutes(&b_large.program, shape).map_err(|e| e.to_string())?;
+    let lifted_small = lift(&b_small.program, shape)?;
+    let lifted_large = lift(&b_large.program, shape)?;
     let spu_build_small = KernelBuild {
         program: lifted_small.program,
         setup: b_small.setup.clone(),
@@ -225,8 +374,8 @@ pub fn measure(
         setup: b_large.setup.clone(),
         expected: b_large.expected.clone(),
     };
-    let spu_small = run_checked(&spu_build_small, MachineConfig::with_spu(*shape), "spu/small")?;
-    let spu_large = run_checked(&spu_build_large, MachineConfig::with_spu(*shape), "spu/large")?;
+    let spu_small = run_checked(&spu_build_small, spu_cfg.clone(), "spu/small")?;
+    let spu_large = run_checked(&spu_build_large, spu_cfg, "spu/large")?;
 
     let nblocks = blocks_large - blocks_small;
     let scale = |s: SimStats| {

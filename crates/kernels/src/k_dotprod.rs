@@ -109,11 +109,7 @@ mod tests {
         let meas = measure(&DotProd, 2, 6, &SHAPE_A).unwrap();
         // Four realignments per group lift.
         assert_eq!(meas.offloaded_per_block(), 4 * GROUPS as u64);
-        assert!(
-            meas.speedup() > 1.05,
-            "dot product should speed up, got {:.3}",
-            meas.speedup()
-        );
+        assert!(meas.speedup() > 1.05, "dot product should speed up, got {:.3}", meas.speedup());
         // Shape D suffices (paper §5.1).
         let meas_d = measure(&DotProd, 2, 6, &SHAPE_D).unwrap();
         assert_eq!(meas_d.offloaded_per_block(), 4 * GROUPS as u64);

@@ -88,6 +88,7 @@ impl<const N: usize> Kernel for Fft<N> {
         b.load_w(R3, Mem::base_disp(R14, A_TW as i32 + 2), true); // wi
         b.load_w(R4, Mem::base(R1), true); // br
         b.load_w(R5, Mem::base_disp(R1, 2), true); // bi
+
         // tr = (wr·br − wi·bi) >> 15
         b.mov_rr(R6, R2);
         b.alu_rr(AluOp::Imul, R6, R4);

@@ -76,6 +76,7 @@ impl Kernel for Iir10 {
         b.movq_rr(MM1, MM0); // liftable copy
         b.mmx_rr(MmxOp::Punpcklwd, MM0, MM0); // [w0 w0 w1 w1] (liftable)
         b.mmx_rr(MmxOp::Punpckhwd, MM1, MM1); // [w2 w2 w3 w3] (liftable)
+
         // mm1's shift comes first: once the realignments are lifted, its
         // operand routes from mm0's raw load value, so mm0 must not yet
         // be rewritten (SPU-aware schedule).
@@ -187,9 +188,6 @@ mod tests {
         let saved = meas.pct_cycles_saved();
         assert!((-1.0..4.0).contains(&saved), "IIR saved {saved:.1}%");
         // 21 multiplies per sample are the bottleneck.
-        assert_eq!(
-            meas.baseline.per_block.scalar_multiplies,
-            21 * BLOCK_SAMPLES as u64
-        );
+        assert_eq!(meas.baseline.per_block.scalar_multiplies, 21 * BLOCK_SAMPLES as u64);
     }
 }

@@ -55,16 +55,19 @@ impl Kernel for Transpose16 {
         let tile = b.bind_here("tile");
         b.load(R0, Mem::base(R7)); // src tile base
         b.load(R1, Mem::base_disp(R7, 4)); // staging tile base
+
         // Rows a (row0) and c (row2).
         b.movq_load(MM0, Mem::base(R0));
         b.movq_load(MM2, Mem::base_disp(R0, 2 * ROW_BYTES));
         b.movq_rr(MM1, MM0); // liftable copy
         b.movq_rr(MM3, MM2); // liftable copy
+
         // Merge in rows b (row1) and d (row3) straight from memory.
         b.mmx_rm(MmxOp::Punpcklwd, MM0, Mem::base_disp(R0, ROW_BYTES)); // a0 b0 a1 b1
         b.mmx_rm(MmxOp::Punpckhwd, MM1, Mem::base_disp(R0, ROW_BYTES)); // a2 b2 a3 b3
         b.mmx_rm(MmxOp::Punpcklwd, MM2, Mem::base_disp(R0, 3 * ROW_BYTES)); // c0 d0 c1 d1
         b.mmx_rm(MmxOp::Punpckhwd, MM3, Mem::base_disp(R0, 3 * ROW_BYTES)); // c2 d2 c3 d3
+
         // Column assembly (all liftable).
         b.movq_rr(MM4, MM0);
         b.mmx_rr(MmxOp::Punpckldq, MM0, MM2); // a0 b0 c0 d0

@@ -38,6 +38,9 @@ pub mod refimpl;
 pub mod suite;
 pub mod workload;
 
-pub use framework::{measure, Kernel, KernelBuild, Measurement, VariantStats};
+pub use framework::{
+    measure, measure_with, Kernel, KernelBuild, LiftFn, Measurement, MeasurementRecord,
+    VariantStats,
+};
 pub use paper::PaperRow;
 pub use suite::{paper_suite, SuiteEntry};

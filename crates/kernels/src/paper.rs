@@ -134,12 +134,7 @@ mod tests {
         for r in &PAPER_ROWS {
             // Table 2's % column is missed/clocks.
             let pct = 100.0 * r.missed_branches / r.clocks;
-            assert!(
-                (pct - r.missed_pct).abs() < 0.01,
-                "{}: {pct:.3} vs {}",
-                r.name,
-                r.missed_pct
-            );
+            assert!((pct - r.missed_pct).abs() < 0.01, "{}: {pct:.3} vs {}", r.name, r.missed_pct);
             // Table 3's "cycles overlapped" equals pct_total_instr × clocks
             // (each off-loaded permutation = one overlapped cycle).
             let overlap_pct = 100.0 * r.cycles_overlapped / r.clocks;

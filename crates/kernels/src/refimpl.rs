@@ -96,14 +96,8 @@ pub fn fft_q15(x: &[i16]) -> Vec<(i16, i16)> {
                 let (br_, bi) = w[k + j + half];
                 let tr = ((wr as i32 * br_ as i32) - (wi as i32 * bi as i32)) >> 15;
                 let ti = ((wr as i32 * bi as i32) + (wi as i32 * br_ as i32)) >> 15;
-                w[k + j] = (
-                    ((ur as i32 + tr) >> 1) as i16,
-                    ((ui as i32 + ti) >> 1) as i16,
-                );
-                w[k + j + half] = (
-                    ((ur as i32 - tr) >> 1) as i16,
-                    ((ui as i32 - ti) >> 1) as i16,
-                );
+                w[k + j] = (((ur as i32 + tr) >> 1) as i16, ((ui as i32 + ti) >> 1) as i16);
+                w[k + j + half] = (((ur as i32 - tr) >> 1) as i16, ((ui as i32 - ti) >> 1) as i16);
             }
             k += len;
         }
@@ -297,10 +291,8 @@ mod tests {
         let n = 128;
         let x = workload::sine(n, 8.0, 0.10);
         let w = fft_q15(&x);
-        let mags: Vec<i64> = w
-            .iter()
-            .map(|&(r, i)| (r as i64).pow(2) + (i as i64).pow(2))
-            .collect();
+        let mags: Vec<i64> =
+            w.iter().map(|&(r, i)| (r as i64).pow(2) + (i as i64).pow(2)).collect();
         let peak = (1..n).max_by_key(|&i| mags[i]).unwrap();
         assert!(peak == 8 || peak == n - 8, "peak at {peak}");
         // The peak dominates everything except its mirror.
@@ -339,10 +331,7 @@ mod tests {
         let src: Vec<i16> = (0..64).map(|i| ((i % 8) as i16) * 800).collect();
         let out = dct8x8(&src);
         let col0: i64 = (0..8).map(|r| (out[r * 8] as i64).abs()).sum();
-        let rest: i64 = (0..64)
-            .filter(|i| i % 8 != 0)
-            .map(|i| (out[i] as i64).abs())
-            .sum();
+        let rest: i64 = (0..64).filter(|i| i % 8 != 0).map(|i| (out[i] as i64).abs()).sum();
         assert!(col0 > rest * 4, "column 0 {col0} vs rest {rest}");
     }
 

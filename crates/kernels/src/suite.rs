@@ -59,11 +59,7 @@ mod tests {
         let s = paper_suite();
         assert_eq!(s.len(), 8);
         for e in &s {
-            assert!(
-                e.kernel.paper().is_some(),
-                "{} missing from paper tables",
-                e.kernel.name()
-            );
+            assert!(e.kernel.paper().is_some(), "{} missing from paper tables", e.kernel.name());
             assert!(e.blocks_small < e.blocks_large);
         }
         assert!(dotprod_example().kernel.paper().is_none());

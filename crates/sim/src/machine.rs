@@ -609,10 +609,9 @@ impl Machine {
                 self.regs.set_flags_logic(x & y);
                 Ok(ExecEffect::default())
             }
-            Instr::Jmp { target } => Ok(ExecEffect {
-                redirect: Some(program.resolve(*target)),
-                branch: Some(true),
-            }),
+            Instr::Jmp { target } => {
+                Ok(ExecEffect { redirect: Some(program.resolve(*target)), branch: Some(true) })
+            }
             Instr::Jcc { cond, target } => {
                 let f = self.regs.flags;
                 let taken = cond.eval(f.zf, f.sf, f.cf, f.of);
@@ -650,9 +649,8 @@ mod tests {
     #[test]
     fn straight_line_cycle_count() {
         // Four independent 1-cycle instructions dual-issue into 2 slots.
-        let (_, s) = run_asm(
-            "paddw mm0, mm1\n psubw mm2, mm3\n pxor mm4, mm5\n pand mm6, mm7\n halt\n",
-        );
+        let (_, s) =
+            run_asm("paddw mm0, mm1\n psubw mm2, mm3\n pxor mm4, mm5\n pand mm6, mm7\n halt\n");
         assert_eq!(s.instructions, 4);
         assert_eq!(s.pairs, 2);
         assert_eq!(s.singles, 0);
@@ -675,6 +673,7 @@ mod tests {
         let (_, s) = run_asm("pmullw mm0, mm1\n paddw mm2, mm0\n halt\n");
         assert_eq!(s.stall_cycles, 2);
         assert_eq!(s.cycles, 4); // slot0 @0, stall 1..3, slot @3 -> 4 cycles
+
         // Independent work can fill the latency for free: two filler pairs
         // occupy cycles 1 and 2, so the dependent add issues at 3 with no
         // stall.
@@ -690,9 +689,7 @@ mod tests {
     fn pipelined_multiplier_one_per_cycle() {
         // Independent multiplies issue one per cycle (single multiplier,
         // but pipelined).
-        let (_, s) = run_asm(
-            "pmullw mm0, mm4\n pmullw mm1, mm5\n pmullw mm2, mm6\n halt\n",
-        );
+        let (_, s) = run_asm("pmullw mm0, mm4\n pmullw mm1, mm5\n pmullw mm2, mm6\n halt\n");
         assert_eq!(s.cycles, 3);
         assert_eq!(s.stall_cycles, 0);
     }
@@ -708,9 +705,7 @@ mod tests {
 
     #[test]
     fn loop_branch_statistics() {
-        let (_, s) = run_asm(
-            "mov r0, 100\nloop:\n paddw mm0, mm1\n sub r0, 1\n jnz loop\n halt\n",
-        );
+        let (_, s) = run_asm("mov r0, 100\nloop:\n paddw mm0, mm1\n sub r0, 1\n jnz loop\n halt\n");
         assert_eq!(s.branches, 100);
         // Cold first-taken miss + final exit miss.
         assert_eq!(s.mispredicts, 2);
@@ -1041,12 +1036,7 @@ mod tests {
         m1.install_spu_program(0, &spu_prog).unwrap();
         let s1 = m1.run(&spu_prog_isa).unwrap();
 
-        assert!(
-            s1.cycles < s0.cycles,
-            "SPU {} cycles should beat MMX {}",
-            s1.cycles,
-            s0.cycles
-        );
+        assert!(s1.cycles < s0.cycles, "SPU {} cycles should beat MMX {}", s1.cycles, s0.cycles);
         // Per iteration: movq copy + two unpacks are all realignment-class.
         assert_eq!(s0.mmx_realignments, 3 * trips);
         assert_eq!(s1.mmx_realignments, 0);

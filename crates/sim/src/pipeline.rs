@@ -101,12 +101,7 @@ pub enum PairBlock {
 
 /// Check whether `(i0, i1)` may dual-issue, given each instruction's SPU
 /// routing. Returns the blocking rule or `None` when pairing is legal.
-pub fn pair_block(
-    i0: &Instr,
-    r0: &StepRouting,
-    i1: &Instr,
-    r1: &StepRouting,
-) -> Option<PairBlock> {
+pub fn pair_block(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) -> Option<PairBlock> {
     if i0.is_branch() || matches!(i0, Instr::Halt) {
         return Some(PairBlock::FirstNotPairable);
     }

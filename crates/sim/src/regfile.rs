@@ -67,12 +67,7 @@ impl RegFile {
     /// Set flags from a 32-bit result (logic ops: CF = OF = 0).
     #[inline]
     pub fn set_flags_logic(&mut self, result: u32) {
-        self.flags = Flags {
-            zf: result == 0,
-            sf: (result as i32) < 0,
-            cf: false,
-            of: false,
-        };
+        self.flags = Flags { zf: result == 0, sf: (result as i32) < 0, cf: false, of: false };
     }
 
     /// Set flags from an addition `a + b = result`.

@@ -164,11 +164,7 @@ impl fmt::Display for SimStats {
             self.mispredicts,
             100.0 * self.miss_per_clock()
         )?;
-        writeln!(
-            f,
-            "slots             {:>12} pairs / {} singles",
-            self.pairs, self.singles
-        )?;
+        writeln!(f, "slots             {:>12} pairs / {} singles", self.pairs, self.singles)?;
         writeln!(
             f,
             "stalls            {:>12} scoreboard, {} mispredict, {} imul",

@@ -37,9 +37,8 @@ pub struct SlotTrace {
 impl SlotTrace {
     /// Compact single-line rendering (used by the visualiser example).
     pub fn render(&self) -> String {
-        let mark = |e: &TraceEntry| {
-            format!("{}{}", e.instr, if e.routed { "  «routed»" } else { "" })
-        };
+        let mark =
+            |e: &TraceEntry| format!("{}{}", e.instr, if e.routed { "  «routed»" } else { "" });
         let mut s = format!("c{:>5}  U: {:<38}", self.cycle, mark(&self.u));
         match &self.v {
             Some(v) => s.push_str(&format!("V: {}", mark(v))),

@@ -316,11 +316,7 @@ fn build(steps: &[S], trips: u64) -> Program {
                 b.movd_from_mm(gp(*dst), mm(*src));
             }
             S::LoadW { dst, slot, signed } => {
-                b.load_w(
-                    gp(*dst),
-                    Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8),
-                    *signed,
-                );
+                b.load_w(gp(*dst), Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8), *signed);
             }
             S::StoreW { src, slot } => {
                 b.store_w(Mem::abs(MEM_BASE + (*slot as u32 % MEM_SLOTS) * 8), gp(*src));

@@ -351,10 +351,7 @@ mod tests {
         // instruction" capability from the paper's transpose discussion.
         let f = file_with_pattern();
         let r = ByteRoute::from_reg_words([(MM0, 0), (MM1, 0), (MM2, 0), (MM3, 0)]);
-        assert_eq!(
-            r.apply(&f),
-            u64::from_le_bytes([0, 1, 8, 9, 16, 17, 24, 25])
-        );
+        assert_eq!(r.apply(&f), u64::from_le_bytes([0, 1, 8, 9, 16, 17, 24, 25]));
         assert_eq!(r.reg_span(), (0, 4));
         assert!(r.word_aligned());
     }
@@ -363,10 +360,7 @@ mod tests {
     fn dword_route() {
         let f = file_with_pattern();
         let r = ByteRoute::from_reg_dwords([(MM1, 1), (MM0, 0)]);
-        assert_eq!(
-            r.apply(&f),
-            u64::from_le_bytes([12, 13, 14, 15, 0, 1, 2, 3])
-        );
+        assert_eq!(r.apply(&f), u64::from_le_bytes([12, 13, 14, 15, 0, 1, 2, 3]));
     }
 
     #[test]
@@ -374,10 +368,7 @@ mod tests {
         let r = ByteRoute([63, 0, 17, 42, 5, 33, 8, 1]);
         assert!(SHAPE_A.validate_route(&r, 0).is_ok());
         // ... but 16-bit shapes reject it (not word aligned).
-        assert!(matches!(
-            SHAPE_C.validate_route(&r, 0),
-            Err(RouteError::MisalignedPair { .. })
-        ));
+        assert!(matches!(SHAPE_C.validate_route(&r, 0), Err(RouteError::MisalignedPair { .. })));
     }
 
     #[test]
@@ -395,10 +386,7 @@ mod tests {
         assert!(SHAPE_D.validate_route(&r7, 4).is_ok());
         assert!(SHAPE_D.validate_route(&r7, 0).is_err());
         // Window must fit the file.
-        assert!(matches!(
-            SHAPE_D.validate_route(&r7, 5),
-            Err(RouteError::WindowOutOfFile { .. })
-        ));
+        assert!(matches!(SHAPE_D.validate_route(&r7, 5), Err(RouteError::WindowOutOfFile { .. })));
     }
 
     #[test]

@@ -251,13 +251,7 @@ mod tests {
         let cases = [
             SpuState::default(),
             SpuState::straight(1, 5, 6),
-            SpuState::routed(
-                0,
-                Some(ByteRoute::identity(MM3)),
-                None,
-                IDLE_STATE,
-                2,
-            ),
+            SpuState::routed(0, Some(ByteRoute::identity(MM3)), None, IDLE_STATE, 2),
             SpuState::routed(
                 1,
                 Some(ByteRoute([0, 1, 8, 9, 2, 3, 10, 11])),

@@ -149,8 +149,7 @@ impl SpuMmio {
     /// programs always set next fields, so the all-zero filter is safe.
     fn decode_context(&self, ctx: usize, window_base: u8) -> Result<SpuProgram, SpuError> {
         let st = &self.staging[ctx];
-        let counter_init =
-            [st.read_u64(0x8) as u32, st.read_u64(0x10) as u32];
+        let counter_init = [st.read_u64(0x8) as u32, st.read_u64(0x10) as u32];
         let entry = (st.read_u64(0x18) & 0x7f) as u8;
         let mut states = Vec::new();
         for s in 0..NUM_STATES - 1 {
@@ -169,13 +168,7 @@ impl SpuMmio {
         if states.is_empty() {
             return Err(SpuError::BadMmioImage { reason: "no programmed states" });
         }
-        Ok(SpuProgram {
-            name: format!("mmio-ctx{ctx}"),
-            states,
-            counter_init,
-            entry,
-            window_base,
-        })
+        Ok(SpuProgram { name: format!("mmio-ctx{ctx}"), states, counter_init, entry, window_base })
     }
 
     /// Stage a host-built program into context `ctx`'s staging image so a
@@ -230,11 +223,7 @@ impl SpuMmio {
 /// reset), which is why the paper's start-up cost is modest. The GO write
 /// is **not** emitted; arm the unit per activation with
 /// [`emit_spu_go`].
-pub fn emit_spu_setup(
-    b: &mut subword_isa::ProgramBuilder,
-    ctx: usize,
-    prog: &SpuProgram,
-) -> usize {
+pub fn emit_spu_setup(b: &mut subword_isa::ProgramBuilder, ctx: usize, prog: &SpuProgram) -> usize {
     use subword_isa::Mem;
     let start = b.here();
     let store32 = |b: &mut subword_isa::ProgramBuilder, off: u32, v: u32| {

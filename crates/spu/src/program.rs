@@ -134,13 +134,7 @@ impl SpuProgram {
                 (i as u8, SpuState::routed(0, *a, *b, next, next))
             })
             .collect();
-        SpuProgram {
-            name: name.into(),
-            states,
-            counter_init: [1, 1],
-            entry: 0,
-            window_base: 0,
-        }
+        SpuProgram { name: name.into(), states, counter_init: [1, 1], entry: 0, window_base: 0 }
     }
 
     /// Total number of programmed states.
@@ -333,7 +327,8 @@ mod tests {
     fn linear_chain_walks_once_and_idles() {
         use crate::controller::SpuController;
         let r = ByteRoute::identity(MM1);
-        let p = SpuProgram::linear_chain("chain", &[(Some(r), None), (None, None), (None, Some(r))]);
+        let p =
+            SpuProgram::linear_chain("chain", &[(Some(r), None), (None, None), (None, Some(r))]);
         assert!(p.validate(&SHAPE_A).is_ok());
         let mut c = SpuController::new(SHAPE_A);
         c.load_program(0, &p).unwrap();

@@ -44,12 +44,7 @@ fn main() {
         "file", "area mm2", "delay ns", "ctrl mm2", "% of die"
     );
     for (regs, in_ports) in [(8u32, 64u16), (16, 128), (32, 256)] {
-        let s = CrossbarShape {
-            name: "custom",
-            in_ports,
-            out_ports: 32,
-            port_bits: 8,
-        };
+        let s = CrossbarShape { name: "custom", in_ports, out_ports: 32, port_bits: 8 };
         let o = DieOverhead::evaluate(&s, 1, &Technology::PIII_018);
         println!(
             "{:<22} {:>9.2} {:>9.2} {:>10.2} {:>9.2}",

@@ -55,13 +55,9 @@ fn main() {
     print!("{}", subword::compile::annotate(&result));
 
     // Differential run: both variants must produce identical output.
-    let diff = subword::compile::differential(
-        &build.program,
-        &result.program,
-        &SHAPE_A,
-        &build.setup,
-    )
-    .expect("differential equivalence");
+    let diff =
+        subword::compile::differential(&build.program, &result.program, &SHAPE_A, &build.setup)
+            .expect("differential equivalence");
     println!("\nbaseline : {:>8} cycles", diff.baseline.cycles);
     println!("lifted   : {:>8} cycles", diff.transformed.cycles);
     println!(

@@ -55,9 +55,7 @@ fn main() {
     // Column c of the transpose = word c of each source register — the
     // "transform any given column into a row of data in a single cycle"
     // capability the paper attributes to unrestricted sub-word access.
-    let column = |c: u8| {
-        ByteRoute::from_reg_words([(MM0, c), (MM1, c), (MM2, c), (MM3, c)])
-    };
+    let column = |c: u8| ByteRoute::from_reg_words([(MM0, c), (MM1, c), (MM2, c), (MM3, c)]);
     let spu_prog = SpuProgram::single_loop(
         "t4-cols",
         &[
@@ -94,11 +92,11 @@ fn main() {
     let s1 = m1.run(&spu_isa).unwrap();
     print_matrix("\ntransposed (SPU, 4 routed stores)", &m1, 0x2000);
 
-    assert_eq!(
-        m0.mem.read_i16s(0x1000, 16).unwrap(),
-        m1.mem.read_i16s(0x2000, 16).unwrap()
+    assert_eq!(m0.mem.read_i16s(0x1000, 16).unwrap(), m1.mem.read_i16s(0x2000, 16).unwrap());
+    println!(
+        "\nMMX transpose instructions: {} ({} realignments)",
+        s0.instructions, s0.mmx_realignments
     );
-    println!("\nMMX transpose instructions: {} ({} realignments)", s0.instructions, s0.mmx_realignments);
     println!(
         "SPU transpose instructions: {} in the tile itself ({} routed stores) — \
          the paper's 8-instruction tile becomes 4",

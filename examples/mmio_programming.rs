@@ -53,7 +53,10 @@ fn main() {
     println!("SPU activations (GO bits) : {}", stats.spu_activations);
     println!("controller steps          : {}", stats.spu_steps);
     println!("routed operand fetches    : {}", stats.spu_routed);
-    println!("status register after run : {:#x} (bit 0 = GO, clear: idled itself)", m.regs.read_gp(R5));
+    println!(
+        "status register after run : {:#x} (bit 0 = GO, clear: idled itself)",
+        m.regs.read_gp(R5)
+    );
 
     let out = m.mem.read_i16s(0x1000, 4).unwrap();
     println!("\nfirst stored vector: {out:?} (word-reversed [100, 200, 300, 400])");

@@ -14,9 +14,7 @@ use subword_isa::lane::from_iwords;
 fn trace_run(name: &str, m: &mut Machine, p: &subword_isa::Program) {
     println!("---- {name} ----");
     let mut rows = Vec::new();
-    let stats = m
-        .run_traced(p, &mut |slot| rows.push(slot.render()))
-        .expect("run");
+    let stats = m.run_traced(p, &mut |slot| rows.push(slot.render())).expect("run");
     for r in &rows {
         println!("{r}");
     }
@@ -72,11 +70,9 @@ fn main() {
     trace_run("Figure 5 body, MMX + SPU", &mut m, &spu);
 
     // A multiply-latency demonstration: dependent use 3 cycles later.
-    let p = subword::isa::asm::assemble(
-        "lat",
-        "pmullw mm0, mm1\n paddw mm2, mm0\n add r1, 1\n halt\n",
-    )
-    .unwrap();
+    let p =
+        subword::isa::asm::assemble("lat", "pmullw mm0, mm1\n paddw mm2, mm0\n add r1, 1\n halt\n")
+            .unwrap();
     let mut m = Machine::new(MachineConfig::mmx_only());
     trace_run("multiplier latency: dependent paddw stalls", &mut m, &p);
 }

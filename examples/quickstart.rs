@@ -78,9 +78,8 @@ fn main() {
     println!("products (high 16) = {hi:?}");
     assert_eq!(lo, iwords_of(m0.regs.read_mm(MM2)), "SPU result must match MMX");
     assert_eq!(hi, iwords_of(m0.regs.read_mm(MM4)));
-    for (i, (p, q)) in [(x[0], x[2]), (y[0], y[2]), (x[1], x[3]), (y[1], y[3])]
-        .into_iter()
-        .enumerate()
+    for (i, (p, q)) in
+        [(x[0], x[2]), (y[0], y[2]), (x[1], x[3]), (y[1], y[3])].into_iter().enumerate()
     {
         let prod = p as i32 * q as i32;
         assert_eq!(lo[i], prod as i16);

@@ -48,11 +48,7 @@ fn lifted_programs_remove_realignments_without_adding_mmx() {
         let lifted = lift_permutes(&base.program, &SHAPE_A).unwrap();
         let mix_before = base.program.static_mix();
         let mix_after = lifted.program.static_mix();
-        assert!(
-            mix_after.mmx <= mix_before.mmx,
-            "{}: MMX count grew",
-            e.kernel.name()
-        );
+        assert!(mix_after.mmx <= mix_before.mmx, "{}: MMX count grew", e.kernel.name());
         assert_eq!(
             mix_before.mmx - mix_after.mmx,
             lifted.report.removed_static,

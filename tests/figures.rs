@@ -39,8 +39,7 @@ fn figure2_unpack() {
 /// correct.
 #[test]
 fn figure3_transpose_instruction_counts() {
-    let rows: [[i16; 4]; 4] =
-        [[0, 1, 2, 3], [10, 11, 12, 13], [20, 21, 22, 23], [30, 31, 32, 33]];
+    let rows: [[i16; 4]; 4] = [[0, 1, 2, 3], [10, 11, 12, 13], [20, 21, 22, 23], [30, 31, 32, 33]];
 
     let mut b = ProgramBuilder::new("fig3");
     b.movq_rr(MM4, MM0);
@@ -59,11 +58,8 @@ fn figure3_transpose_instruction_counts() {
     let p = b.finish().unwrap();
 
     // Exactly eight unpack instructions, as the paper counts.
-    let unpacks = p
-        .instrs
-        .iter()
-        .filter(|i| matches!(i, Instr::Mmx { op, .. } if op.is_unpack()))
-        .count();
+    let unpacks =
+        p.instrs.iter().filter(|i| matches!(i, Instr::Mmx { op, .. } if op.is_unpack())).count();
     assert_eq!(unpacks, 8);
 
     let mut m = Machine::new(MachineConfig::mmx_only());

@@ -153,9 +153,5 @@ fn die_overhead_near_one_percent() {
     // The shape that suffices for every kernel (D), single context, at
     // the paper's 0.18um node.
     let o = DieOverhead::evaluate(&SHAPE_D, 1, &Technology::PIII_018);
-    assert!(
-        o.die_fraction < 0.02,
-        "shape D costs {:.2}% of the die",
-        100.0 * o.die_fraction
-    );
+    assert!(o.die_fraction < 0.02, "shape D costs {:.2}% of the die", 100.0 * o.die_fraction);
 }

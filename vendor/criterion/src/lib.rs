@@ -1,0 +1,211 @@
+//! Offline stub of the `criterion` subset this workspace's benches use.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This stub keeps `cargo bench` working with the same bench
+//! sources: each benchmark runs a short calibrated timing loop and prints
+//! `name ... time: [median]` lines. No statistical analysis, no HTML
+//! reports, no comparison against saved baselines.
+//!
+//! Supported surface: `Criterion`, `criterion_group!`, `criterion_main!`,
+//! `BenchmarkId`, `Throughput`, benchmark groups with `sample_size` /
+//! `throughput`, `bench_function`, `bench_with_input`, and `Bencher::iter`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement sink handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it enough to get stable samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count taking ≥ ~1 ms per sample.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median_per_iter(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2] / self.iters_per_sample.max(1) as u32
+    }
+}
+
+/// Element/byte counts for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn report(label: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.1} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<40} time: [{per_iter:?}]{rate}");
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: self.sample_size };
+        f(&mut b);
+        report(name, b.median_per_iter(), None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Attach a throughput to subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: self.sample_size };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.median_per_iter(), self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterised by an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b =
+            Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: self.sample_size };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), b.median_per_iter(), self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Group bench functions under one registration symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x * x)))
+        });
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+}

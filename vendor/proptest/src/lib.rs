@@ -1,0 +1,516 @@
+//! Offline stub of the `proptest` subset this workspace's property tests
+//! use.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched; this stub keeps the seed test files source-compatible. It
+//! implements random-input property testing **without shrinking**: each
+//! `proptest!` test generates `ProptestConfig::cases` inputs from its
+//! argument strategies and fails (printing the inputs and the per-test
+//! seed) on the first counterexample.
+//!
+//! Supported surface — exactly what the tests in this repo use:
+//! `proptest!` (with optional `#![proptest_config(..)]`, `arg: Type` and
+//! `arg in strategy` parameters), `prop_assert!`, `prop_assert_eq!`,
+//! `prop_oneof!`, `any::<T>()`, integer range strategies, `.prop_map`,
+//! `array::uniform{4,8,32}`, `collection::vec`, `option::of`,
+//! [`ProptestConfig`], [`TestCaseError`].
+//!
+//! Reproducibility: the seed is derived from the test name, or overridden
+//! globally with the `PROPTEST_SEED` environment variable (printed on
+//! failure).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test run configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (also the error type `?` propagates inside
+/// `proptest!` bodies).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Fail with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from `PROPTEST_SEED` if set, else from the test name.
+    pub fn from_env(test_name: &str) -> (TestRng, u64) {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("PROPTEST_SEED `{s}` is not a decimal u64: {e}")),
+            Err(_) => test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            }),
+        };
+        (TestRng { state: seed }, seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type (printable so counterexamples can be shown).
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Equal-weight choice between boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6, S7 / v7);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6, S7 / v7, S8 / v8);
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// `N` independent draws from one strategy.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// `[S::Value; 4]` strategy.
+    pub fn uniform4<S: Strategy>(s: S) -> UniformArray<S, 4> {
+        UniformArray(s)
+    }
+
+    /// `[S::Value; 8]` strategy.
+    pub fn uniform8<S: Strategy>(s: S) -> UniformArray<S, 8> {
+        UniformArray(s)
+    }
+
+    /// `[S::Value; 32]` strategy.
+    pub fn uniform32<S: Strategy>(s: S) -> UniformArray<S, 32> {
+        UniformArray(s)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec` of values with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector strategy with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` three times out of four (matching proptest's bias towards
+    /// populated values), `None` otherwise.
+    pub struct OptionStrategy<S>(S);
+
+    /// Optional values of `inner`'s type.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Soft assertion: fails the current case without panicking the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), format!($($fmt)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Equal-weight alternative between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(..)]`, and parameters written either `name: Type`
+/// (full-range) or `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::proptest!(@parse ($cfg) $name ($body) [] [] $($args)*);
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // Argument parsing: accumulate (pattern, strategy) pairs.
+    (@parse ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*] $arg:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::proptest!(@parse ($cfg) $name ($body) [$($p,)* $arg] [$($s,)* $strat] $($rest)*);
+    };
+    (@parse ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*] $arg:ident in $strat:expr) => {
+        $crate::proptest!(@run ($cfg) $name ($body) [$($p,)* $arg] [$($s,)* $strat]);
+    };
+    (@parse ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*] $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::proptest!(@parse ($cfg) $name ($body) [$($p,)* $arg] [$($s,)* $crate::any::<$ty>()] $($rest)*);
+    };
+    (@parse ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*] $arg:ident : $ty:ty) => {
+        $crate::proptest!(@run ($cfg) $name ($body) [$($p,)* $arg] [$($s,)* $crate::any::<$ty>()]);
+    };
+    (@parse ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*]) => {
+        $crate::proptest!(@run ($cfg) $name ($body) [$($p),*] [$($s),*]);
+    };
+    (@run ($cfg:expr) $name:ident ($body:block) [$($p:pat_param),*] [$($s:expr),*]) => {{
+        let cfg: $crate::ProptestConfig = $cfg;
+        let strat = ($($s,)*);
+        let (mut rng, seed) = $crate::TestRng::from_env(stringify!($name));
+        for case in 0..cfg.cases {
+            let vals = $crate::Strategy::generate(&strat, &mut rng);
+            let shown = format!("{:?}", vals);
+            let ($($p,)*) = vals;
+            let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                (move || { $body ::std::result::Result::Ok(()) })();
+            if let ::std::result::Result::Err(e) = outcome {
+                panic!(
+                    "property {} failed at case {}/{} (seed {seed}; rerun with PROPTEST_SEED={seed}):\n{}\ninputs: {}",
+                    stringify!($name), case + 1, cfg.cases, e.0, shown
+                );
+            }
+        }
+    }};
+    // No config attribute: use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Plain-typed args draw full range; `in` args respect bounds.
+        #[test]
+        fn mixed_args(a: u16, b in 10u32..20, v in crate::collection::vec(0u8..4, 1..5)) {
+            let _ = a;
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// prop_map and oneof compose.
+        #[test]
+        fn mapped_oneof(x in prop_oneof![
+            (0u8..4, 0u8..4).prop_map(|(a, b)| (a as u16) + (b as u16)),
+            (8u8..9).prop_map(|v| v as u16),
+        ]) {
+            prop_assert!(x <= 6 || x == 8, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(a: u8) {
+                    prop_assert!(false, "forced");
+                }
+            }
+            // The macro only *declares* fns; call it.
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("forced"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
+    }
+
+    proptest! {
+        /// `?` and early `return Ok(())` work inside bodies.
+        #[test]
+        fn result_plumbing(flag: bool) {
+            if flag {
+                return Ok(());
+            }
+            let r: Result<u8, TestCaseError> = Ok(3);
+            let v = r?;
+            prop_assert_eq!(v, 3);
+        }
+    }
+}

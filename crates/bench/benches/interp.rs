@@ -1,0 +1,271 @@
+//! Interpreter-throughput micro-benchmark over the kernel suite.
+//!
+//! Runs every suite kernel (baseline MMX program and the SPU-lifted
+//! variant under shape D) through **both** hazard engines — the
+//! predecoded mask-based fast path (`Machine::run`) and the allocating
+//! `Vec<RegRef>` reference path (`Machine::run_reference`) — timing only
+//! the interpreter itself (machine construction and state initialisation
+//! are outside the clock). Each row reports dynamic instructions, the
+//! best-of-N wall time per engine, simulated MIPS, and the decoded/
+//! reference speedup; the engines' `SimStats` are also asserted equal, so
+//! the benchmark doubles as a smoke differential.
+//!
+//! ```text
+//! cargo bench -p subword-bench --bench interp                      # table only
+//! cargo bench -p subword-bench --bench interp -- --save BENCH_sim.json
+//! cargo bench -p subword-bench --bench interp -- --baseline BENCH_sim.json
+//! ```
+//!
+//! `--save` writes the machine-readable baseline committed at the repo
+//! root; `--baseline` loads such a file and prints current-vs-baseline
+//! deltas (informational — it never fails the process, so the CI step
+//! stays non-gating).
+
+use std::time::Instant;
+use subword_bench::json::Json;
+use subword_compile::lift_permutes;
+use subword_isa::program::Program;
+use subword_kernels::framework::KernelBuild;
+use subword_kernels::suite::{dotprod_example, paper_suite};
+use subword_sim::{Machine, MachineConfig, SimStats};
+use subword_spu::SHAPE_D;
+
+const REPS: usize = 5;
+
+struct Row {
+    kernel: &'static str,
+    variant: &'static str,
+    instructions: u64,
+    decoded_nanos: u64,
+    reference_nanos: u64,
+}
+
+impl Row {
+    fn decoded_mips(&self) -> f64 {
+        self.instructions as f64 / (self.decoded_nanos.max(1) as f64 / 1e9) / 1e6
+    }
+
+    fn reference_mips(&self) -> f64 {
+        self.instructions as f64 / (self.reference_nanos.max(1) as f64 / 1e9) / 1e6
+    }
+
+    fn speedup(&self) -> f64 {
+        self.reference_nanos as f64 / self.decoded_nanos.max(1) as f64
+    }
+}
+
+/// Best-of-N interpreter wall time for one build on one engine; returns
+/// the stats of the last run for cross-engine comparison.
+fn time_engine(build: &KernelBuild, cfg: &MachineConfig, reference: bool) -> (u64, SimStats) {
+    let mut best = u64::MAX;
+    let mut stats = SimStats::default();
+    for _ in 0..REPS {
+        let mut m = Machine::new(cfg.clone());
+        for (addr, bytes) in &build.setup.mem_init {
+            m.mem.write_bytes(*addr, bytes).expect("init in bounds");
+        }
+        for (r, v) in &build.setup.reg_init {
+            m.regs.write_gp(*r, *v);
+        }
+        for (r, v) in &build.setup.mm_init {
+            m.regs.write_mm(*r, *v);
+        }
+        let t = Instant::now();
+        stats = if reference {
+            m.run_reference(&build.program).expect("kernel runs")
+        } else {
+            m.run(&build.program).expect("kernel runs")
+        };
+        best = best.min(t.elapsed().as_nanos() as u64);
+        build.check(&m, "bench").expect("golden outputs");
+    }
+    (best, stats)
+}
+
+fn bench_build(
+    kernel: &'static str,
+    variant: &'static str,
+    build: &KernelBuild,
+    cfg: &MachineConfig,
+) -> Row {
+    let (decoded_nanos, decoded_stats) = time_engine(build, cfg, false);
+    let (reference_nanos, reference_stats) = time_engine(build, cfg, true);
+    assert_eq!(decoded_stats, reference_stats, "hazard engines diverge on {kernel}/{variant}");
+    Row {
+        kernel,
+        variant,
+        instructions: decoded_stats.instructions,
+        decoded_nanos,
+        reference_nanos,
+    }
+}
+
+fn suite_rows() -> Vec<Row> {
+    let mut entries = paper_suite();
+    entries.push(dotprod_example());
+    let mut rows = Vec::new();
+    for e in &entries {
+        let name = e.kernel.name();
+        let base = e.kernel.build(e.blocks_large);
+        rows.push(bench_build(name, "mmx", &base, &MachineConfig::mmx_only()));
+
+        let lifted: Program = lift_permutes(&base.program, &SHAPE_D)
+            .unwrap_or_else(|err| panic!("{name}: {err}"))
+            .program;
+        let spu_build = KernelBuild {
+            program: lifted,
+            setup: base.setup.clone(),
+            expected: base.expected.clone(),
+        };
+        rows.push(bench_build(name, "spu", &spu_build, &MachineConfig::with_spu(SHAPE_D)));
+    }
+    rows
+}
+
+fn to_json(rows: &[Row]) -> Json {
+    let (ti, td, tr) = totals(rows);
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("subword-bench-sim/v1".into())),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("kernel".into(), Json::Str(r.kernel.into())),
+                            ("variant".into(), Json::Str(r.variant.into())),
+                            ("instructions".into(), Json::UInt(r.instructions)),
+                            ("decoded_nanos".into(), Json::UInt(r.decoded_nanos)),
+                            ("reference_nanos".into(), Json::UInt(r.reference_nanos)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "totals".into(),
+            Json::Obj(vec![
+                ("instructions".into(), Json::UInt(ti)),
+                ("decoded_nanos".into(), Json::UInt(td)),
+                ("reference_nanos".into(), Json::UInt(tr)),
+            ]),
+        ),
+    ])
+}
+
+fn totals(rows: &[Row]) -> (u64, u64, u64) {
+    (
+        rows.iter().map(|r| r.instructions).sum(),
+        rows.iter().map(|r| r.decoded_nanos).sum(),
+        rows.iter().map(|r| r.reference_nanos).sum(),
+    )
+}
+
+fn mips(instructions: u64, nanos: u64) -> f64 {
+    instructions as f64 / (nanos.max(1) as f64 / 1e9) / 1e6
+}
+
+/// Baseline decoded-MIPS per (kernel, variant) from a saved report.
+fn baseline_mips(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let schema = doc.field("schema")?.as_str()?;
+    if schema != "subword-bench-sim/v1" {
+        return Err(format!("unsupported schema `{schema}`"));
+    }
+    let mut out = Vec::new();
+    for row in doc.field("rows")?.as_arr()? {
+        let key = format!("{}/{}", row.field("kernel")?.as_str()?, row.field("variant")?.as_str()?);
+        let instructions = row.field("instructions")?.as_u64()?;
+        let nanos = row.field("decoded_nanos")?.as_u64()?;
+        out.push((key, mips(instructions, nanos)));
+    }
+    let t = doc.field("totals")?;
+    out.push((
+        "TOTAL".into(),
+        mips(t.field("instructions")?.as_u64()?, t.field("decoded_nanos")?.as_u64()?),
+    ));
+    Ok(out)
+}
+
+/// Resolve a user-supplied path against the **workspace root** (cargo
+/// runs benches with the package directory as cwd, but the committed
+/// baseline lives at the repo root).
+fn workspace_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        // crates/bench → two levels up is the workspace root.
+        Some(dir) => std::path::Path::new(&dir).join("../..").join(p),
+        None => p.to_path_buf(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` appends `--bench`; ignore flags we don't own.
+    let value_of =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+
+    let rows = suite_rows();
+    println!(
+        "{:<10} {:<4} {:>12} {:>10} {:>10} {:>8}",
+        "kernel", "var", "instructions", "dec MIPS", "ref MIPS", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>7.2}x",
+            r.kernel,
+            r.variant,
+            r.instructions,
+            r.decoded_mips(),
+            r.reference_mips(),
+            r.speedup()
+        );
+    }
+    let (ti, td, tr) = totals(&rows);
+    println!(
+        "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>7.2}x",
+        "TOTAL",
+        "",
+        ti,
+        mips(ti, td),
+        mips(ti, tr),
+        tr as f64 / td.max(1) as f64
+    );
+
+    if let Some(path) = value_of("--baseline") {
+        match std::fs::read_to_string(workspace_path(&path))
+            .map_err(|e| format!("read {path}: {e}"))
+            .and_then(|text| Json::parse(&text))
+            .and_then(|doc| baseline_mips(&doc))
+        {
+            Ok(base) => {
+                println!("\nagainst baseline {path} (decoded MIPS, current / baseline):");
+                let current: Vec<(String, f64)> = rows
+                    .iter()
+                    .map(|r| (format!("{}/{}", r.kernel, r.variant), r.decoded_mips()))
+                    .chain([("TOTAL".to_string(), mips(ti, td))])
+                    .collect();
+                for (key, now) in &current {
+                    match base.iter().find(|(k, _)| k == key) {
+                        Some((_, then)) => println!(
+                            "{key:<16} {now:>10.2} / {then:<10.2} ({:+.1}%)",
+                            100.0 * (now - then) / then.max(1e-9)
+                        ),
+                        None => println!("{key:<16} {now:>10.2} / (not in baseline)"),
+                    }
+                }
+            }
+            // Non-gating by design: a missing or stale baseline is
+            // reported, never fatal.
+            Err(e) => println!("\nbaseline comparison skipped: {e}"),
+        }
+    }
+
+    if let Some(path) = value_of("--save") {
+        let json = to_json(&rows).to_pretty();
+        std::fs::write(workspace_path(&path), json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nbaseline written to {path}");
+    }
+}

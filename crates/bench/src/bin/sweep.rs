@@ -26,16 +26,20 @@ fn main() {
         kernels * shapes * cfg.block_scales.len(),
     );
 
-    let t = std::time::Instant::now();
     let run = run_sweep(&cfg).unwrap_or_else(|e| panic!("sweep failed: {e}"));
     let report: &SweepReport = &run.report;
     let stats = report.cache;
     eprintln!(
-        "sweep: done in {:.2?}; compile cache: {} analyses, {} replays, {} stale",
-        t.elapsed(),
+        "sweep: done in {:.2}ms; compile cache: {} analyses, {} replays, {} stale",
+        report.wall_nanos.0 as f64 / 1e6,
         stats.misses,
         stats.hits,
         stats.stale_fallbacks,
+    );
+    eprintln!(
+        "sweep: simulated {} instructions at {:.2} MIPS (in-simulator time, summed over workers)",
+        report.total_sim_instructions(),
+        report.sim_ips() / 1e6,
     );
 
     // The whole point of the sweep layer: one compilation per (kernel,

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use subword_compile::{analyze_with_result, CompiledKernel, TransformResult};
 use subword_isa::program::Program;
-use subword_kernels::framework::{measure_with_config, Measurement, MeasurementRecord};
+use subword_kernels::framework::{measure_with_config, HostNanos, Measurement, MeasurementRecord};
 use subword_kernels::suite::{dotprod_example, paper_suite, SuiteEntry};
 use subword_sim::{MachineConfig, SimStats};
 use subword_spu::crossbar::{CrossbarShape, CANONICAL_SHAPES};
@@ -263,7 +263,8 @@ impl From<&CrossbarShape> for ShapeInfo {
 }
 
 /// The serializable result of one sweep: every (kernel, shape, scale)
-/// cell plus the swept geometry and the compile-cache counters.
+/// cell plus the swept geometry, the compile-cache counters, and the
+/// host-side wall clock of the whole pass.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepReport {
     /// Shapes covered.
@@ -274,6 +275,9 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
     /// Compile-cache counters for the pass that produced this report.
     pub cache: CacheStats,
+    /// Wall clock of the whole sweep (job matrix execution, all workers;
+    /// exempt from equality — see [`HostNanos`]).
+    pub wall_nanos: HostNanos,
 }
 
 /// The full result of [`run_sweep`].
@@ -302,6 +306,7 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
     if cfg.block_scales.iter().any(|&s| s < 1) {
         return Err("block scales must be >= 1 (a zero scale would measure nothing)".into());
     }
+    let wall = std::time::Instant::now();
     let jobs = cfg.jobs();
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<Result<SweepMeasurement, String>>>> =
@@ -362,6 +367,7 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
             scales: cfg.block_scales.clone(),
             cells,
             cache: cache.stats(),
+            wall_nanos: HostNanos(wall.elapsed().as_nanos() as u64),
         },
         measurements,
     })
@@ -386,6 +392,23 @@ impl SweepReport {
         self.scales.first().copied().unwrap_or(1)
     }
 
+    /// Dynamic instructions simulated across every cell (each cell runs
+    /// the interpreter four times; this sums what those runs retired).
+    pub fn total_sim_instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.record.sim_instructions).sum()
+    }
+
+    /// Aggregate simulator throughput over the in-simulator portion of
+    /// the sweep: total simulated instructions per host second spent
+    /// *inside* `Machine::run`, with time summed across workers — i.e.
+    /// the average per-run interpreter rate, independent of how many
+    /// workers the sweep ran on (contention can push it below a quiet
+    /// single-thread measurement, never above it).
+    pub fn sim_ips(&self) -> f64 {
+        let in_sim: u64 = self.cells.iter().map(|c| c.record.wall_nanos.0).sum();
+        HostNanos(in_sim).per_second(self.total_sim_instructions())
+    }
+
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
         self.to_json_value().to_pretty()
@@ -393,7 +416,8 @@ impl SweepReport {
 
     fn to_json_value(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("subword-sweep/v1".into())),
+            ("schema".into(), Json::Str("subword-sweep/v2".into())),
+            ("wall_nanos".into(), Json::UInt(self.wall_nanos.0)),
             (
                 "shapes".into(),
                 Json::Arr(
@@ -427,7 +451,7 @@ impl SweepReport {
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
         let root = Json::parse(text)?;
         let schema = root.field("schema")?.as_str()?;
-        if schema != "subword-sweep/v1" {
+        if schema != "subword-sweep/v2" {
             return Err(format!("unsupported schema `{schema}`"));
         }
         let shapes = root
@@ -465,6 +489,7 @@ impl SweepReport {
                 misses: cache.field("misses")?.as_u64()?,
                 stale_fallbacks: cache.field("stale_fallbacks")?.as_u64()?,
             },
+            wall_nanos: HostNanos(root.field("wall_nanos")?.as_u64()?),
         })
     }
 }
@@ -513,6 +538,8 @@ fn cell_to_json(c: &SweepCell) -> Json {
         ("scale".into(), Json::UInt(c.scale)),
         ("blocks_small".into(), Json::UInt(r.blocks.0)),
         ("blocks_large".into(), Json::UInt(r.blocks.1)),
+        ("wall_nanos".into(), Json::UInt(r.wall_nanos.0)),
+        ("sim_instructions".into(), Json::UInt(r.sim_instructions)),
         ("baseline_per_block".into(), stats_to_json(&r.baseline_per_block)),
         ("baseline_total".into(), stats_to_json(&r.baseline_total)),
         ("spu_per_block".into(), stats_to_json(&r.spu_per_block)),
@@ -531,6 +558,8 @@ fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
         record: MeasurementRecord {
             kernel: v.field("kernel")?.as_str()?.to_string(),
             blocks: (v.field("blocks_small")?.as_u64()?, v.field("blocks_large")?.as_u64()?),
+            wall_nanos: HostNanos(v.field("wall_nanos")?.as_u64()?),
+            sim_instructions: v.field("sim_instructions")?.as_u64()?,
             baseline_per_block: stats_from_json(v.field("baseline_per_block")?)?,
             baseline_total: stats_from_json(v.field("baseline_total")?)?,
             spu_per_block: stats_from_json(v.field("spu_per_block")?)?,

@@ -97,6 +97,20 @@ fn sweep_report_round_trips_through_json() {
     let json = run.report.to_json();
     let parsed = SweepReport::from_json(&json).unwrap();
     assert_eq!(parsed, run.report);
+    // `HostNanos` is equality-exempt, so check the wall-clock values
+    // round-tripped exactly by hand.
+    assert_eq!(parsed.wall_nanos.0, run.report.wall_nanos.0);
+    for (p, c) in parsed.cells.iter().zip(&run.report.cells) {
+        assert_eq!(p.record.wall_nanos.0, c.record.wall_nanos.0);
+    }
+
+    // Throughput accounting: the sweep simulated real work in measurable
+    // host time, and the in-simulator time is bounded by the whole pass.
+    assert!(run.report.total_sim_instructions() > 0);
+    assert!(run.report.wall_nanos.0 > 0);
+    let in_sim: u64 = run.report.cells.iter().map(|c| c.record.wall_nanos.0).sum();
+    assert!(in_sim > 0, "per-cell wall clocks must be populated");
+    assert!(run.report.sim_ips().is_finite() && run.report.sim_ips() > 0.0);
 
     // The second scale reuses every compiled artifact.
     assert_eq!(run.report.cache.misses, (cfg.entries.len() * 2) as u64);
@@ -122,5 +136,5 @@ fn sweep_report_round_trips_through_json() {
 
     // Corrupted documents are rejected, not mis-parsed.
     assert!(SweepReport::from_json("{}").is_err());
-    assert!(SweepReport::from_json(&json.replace("subword-sweep/v1", "v0")).is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v2", "v0")).is_err());
 }

@@ -35,6 +35,114 @@ pub enum RegRef {
     Gp(GpReg),
 }
 
+/// A packed register set: one bit per register in each file.
+///
+/// This is the mask form of the `Vec<RegRef>`-based [`Instr::reads`] /
+/// [`Instr::writes`] API: membership, intersection and union collapse to
+/// single word operations, which is what lets the simulator's per-slot
+/// hazard checks run allocation-free. The `Vec` API remains the reference
+/// oracle — `tests/prop_masks.rs` asserts the two agree for arbitrary
+/// instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RegMask {
+    /// MMX registers: bit `i` set ⇔ `mm<i>` is in the set.
+    pub mm: u8,
+    /// Scalar registers: bit `i` set ⇔ `r<i>` is in the set.
+    pub gp: u16,
+}
+
+impl RegMask {
+    /// The empty set.
+    pub const EMPTY: RegMask = RegMask { mm: 0, gp: 0 };
+
+    /// The singleton set `{r}`.
+    #[inline]
+    pub const fn of(r: RegRef) -> RegMask {
+        match r {
+            RegRef::Mm(m) => RegMask { mm: 1 << m.index(), gp: 0 },
+            RegRef::Gp(g) => RegMask { mm: 0, gp: 1 << g.index() },
+        }
+    }
+
+    /// Add `r` to the set.
+    #[inline]
+    pub fn insert(&mut self, r: RegRef) {
+        match r {
+            RegRef::Mm(m) => self.mm |= 1 << m.index(),
+            RegRef::Gp(g) => self.gp |= 1 << g.index(),
+        }
+    }
+
+    /// True if `r` is in the set.
+    #[inline]
+    pub const fn contains(self, r: RegRef) -> bool {
+        match r {
+            RegRef::Mm(m) => self.mm & (1 << m.index()) != 0,
+            RegRef::Gp(g) => self.gp & (1 << g.index()) != 0,
+        }
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: RegMask) -> RegMask {
+        RegMask { mm: self.mm | other.mm, gp: self.gp | other.gp }
+    }
+
+    /// True if the two sets share a register.
+    #[inline]
+    pub const fn intersects(self, other: RegMask) -> bool {
+        self.mm & other.mm != 0 || self.gp & other.gp != 0
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.mm == 0 && self.gp == 0
+    }
+
+    /// Number of registers in the set.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.mm.count_ones() + self.gp.count_ones()
+    }
+
+    /// Iterate the members (MMX registers first, each file in index
+    /// order).
+    pub fn iter(self) -> impl Iterator<Item = RegRef> {
+        let mm = (0..8)
+            .filter(move |i| self.mm & (1 << i) != 0)
+            .map(|i| RegRef::Mm(MmReg::from_index(i).expect("mask bit within the MMX file")));
+        let gp = (0..GpReg::COUNT)
+            .filter(move |i| self.gp & (1 << i) != 0)
+            .map(|i| RegRef::Gp(GpReg::from_index(i).expect("mask bit within the GP file")));
+        mm.chain(gp)
+    }
+}
+
+impl FromIterator<RegRef> for RegMask {
+    fn from_iter<I: IntoIterator<Item = RegRef>>(iter: I) -> RegMask {
+        let mut m = RegMask::EMPTY;
+        for r in iter {
+            m.insert(r);
+        }
+        m
+    }
+}
+
+/// Drop repeated registers from `v`, keeping first-occurrence order.
+/// Shared by [`Instr::reads`] and the simulator's routed
+/// `effective_reads`: an address mode may name the same register as base
+/// and index, a two-operand op may name its destination as its source,
+/// and routed operand lanes may gather from overlapping registers.
+pub fn dedup_reg_refs(v: &mut Vec<RegRef>) {
+    let mut seen = RegMask::EMPTY;
+    v.retain(|&r| {
+        let fresh = !seen.contains(r);
+        seen.insert(r);
+        fresh
+    });
+}
+
 /// One machine instruction.
 ///
 /// The encoding is deliberately close to Pentium-MMX assembly:
@@ -244,7 +352,67 @@ impl Instr {
                 v.push(RegRef::Gp(r));
             }
         }
+        dedup_reg_refs(&mut v);
         v
+    }
+
+    /// Registers read by this instruction, as a [`RegMask`] — the
+    /// allocation-free equivalent of [`Instr::reads`] (same set, address
+    /// registers included).
+    pub fn read_mask(&self) -> RegMask {
+        let mut m = RegMask::EMPTY;
+        match self {
+            Instr::Mmx { op, dst, src } => {
+                // movq dst, src does not read dst.
+                if !matches!(op, MmxOp::Movq) {
+                    m.mm |= 1 << dst.index();
+                }
+                if let MmxOperand::Reg(r) = src {
+                    m.mm |= 1 << r.index();
+                }
+            }
+            Instr::MovqStore { src, .. } | Instr::MovdStore { src, .. } => {
+                m.mm |= 1 << src.index();
+            }
+            Instr::MovdToMm { src, .. } => m.gp |= 1 << src.index(),
+            Instr::MovdFromMm { src, .. } => m.mm |= 1 << src.index(),
+            Instr::Alu { op, dst, src } => {
+                if !matches!(op, AluOp::Mov) {
+                    m.gp |= 1 << dst.index();
+                }
+                if let GpOperand::Reg(r) = src {
+                    m.gp |= 1 << r.index();
+                }
+            }
+            Instr::Store { src, .. } | Instr::StoreW { src, .. } => m.gp |= 1 << src.index(),
+            Instr::Cmp { a, b } | Instr::Test { a, b } => {
+                m.gp |= 1 << a.index();
+                if let GpOperand::Reg(r) = b {
+                    m.gp |= 1 << r.index();
+                }
+            }
+            _ => {}
+        }
+        if let Some(mem) = self.mem_operand() {
+            for r in mem.regs() {
+                m.gp |= 1 << r.index();
+            }
+        }
+        if let Instr::Lea { addr, .. } = self {
+            for r in addr.regs() {
+                m.gp |= 1 << r.index();
+            }
+        }
+        m
+    }
+
+    /// Registers written by this instruction, as a [`RegMask`] — the mask
+    /// form of [`Instr::writes`] (at most one bit set).
+    pub fn write_mask(&self) -> RegMask {
+        match self.writes() {
+            Some(r) => RegMask::of(r),
+            None => RegMask::EMPTY,
+        }
     }
 
     /// Register written by this instruction, if any.
@@ -377,6 +545,57 @@ mod tests {
         let lea = Instr::Lea { dst: R2, addr: Mem::bisd(R0, R1, 4, 4) };
         assert_eq!(lea.reads(), vec![RegRef::Gp(R0), RegRef::Gp(R1)]);
         assert!(!lea.is_mem_access());
+    }
+
+    #[test]
+    fn reads_dedupes_repeated_registers() {
+        // Same register as base and index: one read, not two.
+        let ld = Instr::MovqLoad { dst: MM1, addr: Mem::bisd(R0, R0, 2, 0) };
+        assert_eq!(ld.reads(), vec![RegRef::Gp(R0)]);
+        // Destination doubling as source: one read.
+        let add = Instr::Mmx { op: MmxOp::Paddw, dst: MM3, src: MmxOperand::Reg(MM3) };
+        assert_eq!(add.reads(), vec![RegRef::Mm(MM3)]);
+    }
+
+    #[test]
+    fn masks_agree_with_vec_api() {
+        let cases = [
+            Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM1) },
+            Instr::Mmx { op: MmxOp::Movq, dst: MM0, src: MmxOperand::Reg(MM1) },
+            Instr::MovqLoad { dst: MM1, addr: Mem::bisd(R0, R1, 8, 4) },
+            Instr::MovqStore { addr: Mem::base(R2), src: MM7 },
+            Instr::MovdFromMm { dst: R3, src: MM4 },
+            Instr::Alu { op: AluOp::Mov, dst: R3, src: GpOperand::Imm(7) },
+            Instr::Lea { dst: R2, addr: Mem::bisd(R0, R1, 4, 4) },
+            Instr::Cmp { a: R0, b: GpOperand::Reg(R5) },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        for i in &cases {
+            let from_vec: RegMask = i.reads().into_iter().collect();
+            assert_eq!(i.read_mask(), from_vec, "{i}");
+            assert_eq!(i.read_mask().len() as usize, i.reads().len(), "{i}");
+            let w: RegMask = i.writes().into_iter().collect();
+            assert_eq!(i.write_mask(), w, "{i}");
+        }
+    }
+
+    #[test]
+    fn mask_set_algebra() {
+        let a = RegMask::of(RegRef::Mm(MM0)).union(RegMask::of(RegRef::Gp(R9)));
+        assert!(a.contains(RegRef::Mm(MM0)));
+        assert!(a.contains(RegRef::Gp(R9)));
+        assert!(!a.contains(RegRef::Mm(MM1)));
+        assert!(!a.contains(RegRef::Gp(R0)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(RegMask::EMPTY.is_empty());
+        let b = RegMask::of(RegRef::Gp(R9));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(RegMask::of(RegRef::Mm(MM5))));
+        // mm and gp bit spaces never alias.
+        assert!(!RegMask::of(RegRef::Mm(MM3)).intersects(RegMask::of(RegRef::Gp(R3))));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![RegRef::Mm(MM0), RegRef::Gp(R9)]);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property-based equivalence of the two operand-set APIs: for arbitrary
+//! instructions, the packed [`RegMask`] forms (`read_mask`/`write_mask`)
+//! must denote exactly the same register sets as the allocating
+//! `Vec<RegRef>` reference forms (`reads`/`writes`) — the masks feed the
+//! simulator's allocation-free hazard checks, the `Vec`s remain the
+//! auditable oracle.
+
+use proptest::prelude::*;
+use subword_isa::instr::{GpOperand, Instr, MmxOperand, RegMask, RegRef};
+use subword_isa::mem::Mem;
+use subword_isa::op::{AluOp, Cond, MmxOp};
+use subword_isa::program::Label;
+use subword_isa::reg::{GpReg, MmReg};
+
+fn mm(i: u8) -> MmReg {
+    MmReg::from_index(i as usize & 7).unwrap()
+}
+
+fn gp(i: u8) -> GpReg {
+    GpReg::from_index(i as usize & 15).unwrap()
+}
+
+fn mem_strategy() -> BoxedStrategy<Mem> {
+    (proptest::option::of(0u8..16), proptest::option::of((0u8..16, 0u8..4)), any::<i16>())
+        .prop_map(|(base, index, disp)| Mem {
+            base: base.map(gp),
+            index: index.map(|(r, s)| (gp(r), 1u8 << s)),
+            disp: disp as i32,
+        })
+        .boxed()
+}
+
+fn mmx_operand_strategy() -> BoxedStrategy<MmxOperand> {
+    prop_oneof![
+        (0u8..8).prop_map(|r| MmxOperand::Reg(mm(r))),
+        mem_strategy().prop_map(MmxOperand::Mem),
+        (0u8..64).prop_map(MmxOperand::Imm),
+    ]
+    .boxed()
+}
+
+fn gp_operand_strategy() -> BoxedStrategy<GpOperand> {
+    prop_oneof![
+        (0u8..16).prop_map(|r| GpOperand::Reg(gp(r))),
+        any::<i16>().prop_map(|v| GpOperand::Imm(v as i32)),
+    ]
+    .boxed()
+}
+
+/// Every `Instr` variant, with registers, operands and address modes
+/// drawn freely (including degenerate ones: same register as base and
+/// index, destination doubling as source, …).
+fn instr_strategy() -> BoxedStrategy<Instr> {
+    let n_mmx_ops = MmxOp::ALL.len();
+    let n_alu_ops = AluOp::ALL.len();
+    let n_conds = Cond::ALL.len();
+    prop_oneof![
+        (0..n_mmx_ops, 0u8..8, mmx_operand_strategy()).prop_map(move |(op, dst, src)| {
+            Instr::Mmx { op: MmxOp::ALL[op], dst: mm(dst), src }
+        }),
+        (0u8..8, mem_strategy()).prop_map(|(dst, addr)| Instr::MovqLoad { dst: mm(dst), addr }),
+        (mem_strategy(), 0u8..8).prop_map(|(addr, src)| Instr::MovqStore { addr, src: mm(src) }),
+        (0u8..8, mem_strategy()).prop_map(|(dst, addr)| Instr::MovdLoad { dst: mm(dst), addr }),
+        (mem_strategy(), 0u8..8).prop_map(|(addr, src)| Instr::MovdStore { addr, src: mm(src) }),
+        (0u8..8, 0u8..16).prop_map(|(dst, src)| Instr::MovdToMm { dst: mm(dst), src: gp(src) }),
+        (0u8..16, 0u8..8).prop_map(|(dst, src)| Instr::MovdFromMm { dst: gp(dst), src: mm(src) }),
+        Just(Instr::Emms),
+        (0..n_alu_ops, 0u8..16, gp_operand_strategy()).prop_map(move |(op, dst, src)| {
+            Instr::Alu { op: AluOp::ALL[op], dst: gp(dst), src }
+        }),
+        (0u8..16, mem_strategy()).prop_map(|(dst, addr)| Instr::Load { dst: gp(dst), addr }),
+        (mem_strategy(), 0u8..16).prop_map(|(addr, src)| Instr::Store { addr, src: gp(src) }),
+        (mem_strategy(), any::<u32>()).prop_map(|(addr, imm)| Instr::StoreI { addr, imm }),
+        (0u8..16, mem_strategy(), any::<bool>()).prop_map(|(dst, addr, signed)| Instr::LoadW {
+            dst: gp(dst),
+            addr,
+            signed
+        }),
+        (mem_strategy(), 0u8..16).prop_map(|(addr, src)| Instr::StoreW { addr, src: gp(src) }),
+        (0u8..16, mem_strategy()).prop_map(|(dst, addr)| Instr::Lea { dst: gp(dst), addr }),
+        (0u8..16, gp_operand_strategy()).prop_map(|(a, b)| Instr::Cmp { a: gp(a), b }),
+        (0u8..16, gp_operand_strategy()).prop_map(|(a, b)| Instr::Test { a: gp(a), b }),
+        (0u32..64).prop_map(|t| Instr::Jmp { target: Label(t) }),
+        (0..n_conds, 0u32..64)
+            .prop_map(move |(c, t)| Instr::Jcc { cond: Cond::ALL[c], target: Label(t) }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// `read_mask` is exactly the set `reads()` reports, and `reads()`
+    /// reports each register once.
+    #[test]
+    fn read_mask_equals_vec_reads(i in instr_strategy()) {
+        let reads = i.reads();
+        let from_vec: RegMask = reads.iter().copied().collect();
+        prop_assert_eq!(i.read_mask(), from_vec, "read sets differ for `{}`", i);
+        prop_assert_eq!(
+            i.read_mask().len() as usize, reads.len(),
+            "duplicate register in reads() of `{}`", i
+        );
+        // Membership agrees for every register in both files.
+        for r in (0..8).map(|k| RegRef::Mm(mm(k))).chain((0..16).map(|k| RegRef::Gp(gp(k)))) {
+            prop_assert_eq!(i.read_mask().contains(r), reads.contains(&r));
+        }
+    }
+
+    /// `write_mask` is exactly the singleton (or empty) set `writes()`
+    /// reports.
+    #[test]
+    fn write_mask_equals_vec_writes(i in instr_strategy()) {
+        let from_vec: RegMask = i.writes().into_iter().collect();
+        prop_assert_eq!(i.write_mask(), from_vec, "write sets differ for `{}`", i);
+        prop_assert!(i.write_mask().len() <= 1);
+    }
+
+    /// Mask round-trip: collecting a mask's members reproduces the mask.
+    #[test]
+    fn mask_iteration_round_trips(i in instr_strategy()) {
+        let m = i.read_mask();
+        let back: RegMask = m.iter().collect();
+        prop_assert_eq!(m, back);
+        prop_assert_eq!(m.iter().count() as u32, m.len());
+    }
+}

@@ -76,6 +76,37 @@ pub struct VariantStats {
     pub total: SimStats,
 }
 
+/// Host-side wall-clock nanoseconds attached to a measurement.
+///
+/// Deliberately **compares equal to any other value**: host timing is
+/// nondeterministic, and equality of measurements/records means "the same
+/// simulated quantities" (the sweep layer asserts cached ≡ uncached
+/// measurements and lossless JSON round trips; neither property can hold
+/// for wall time). The value itself still serializes, prints and feeds
+/// the derived throughput metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostNanos(pub u64);
+
+impl PartialEq for HostNanos {
+    fn eq(&self, _: &HostNanos) -> bool {
+        true
+    }
+}
+
+impl Eq for HostNanos {}
+
+impl HostNanos {
+    /// Simulated work per host second: `n` units over this wall time
+    /// (`f64::INFINITY` for a zero reading, which only a sub-nanosecond
+    /// clock would produce).
+    pub fn per_second(&self, n: u64) -> f64 {
+        if self.0 == 0 {
+            return f64::INFINITY;
+        }
+        n as f64 / (self.0 as f64 / 1e9)
+    }
+}
+
 /// A complete paper-methodology measurement of one kernel.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
@@ -89,6 +120,12 @@ pub struct Measurement {
     pub report: CompileReport,
     /// Block counts used (small, large).
     pub blocks: (u64, u64),
+    /// Host wall-clock spent inside the four simulator runs (baseline
+    /// and SPU at both block counts) — the interpreter-throughput signal.
+    pub wall_nanos: HostNanos,
+    /// Dynamic instructions those four runs retired (deterministic, so it
+    /// participates in equality).
+    pub sim_instructions: u64,
 }
 
 /// The derived-metric formulas, defined once over the two per-block
@@ -156,11 +193,19 @@ impl Measurement {
         metrics::paper_scale(&self.baseline.per_block, paper)
     }
 
+    /// Host-side simulator throughput: simulated instructions retired per
+    /// wall-clock second across this measurement's four runs.
+    pub fn sim_ips(&self) -> f64 {
+        self.wall_nanos.per_second(self.sim_instructions)
+    }
+
     /// Flatten into the serializable [`MeasurementRecord`] schema.
     pub fn record(&self) -> MeasurementRecord {
         MeasurementRecord {
             kernel: self.name.to_string(),
             blocks: self.blocks,
+            wall_nanos: self.wall_nanos,
+            sim_instructions: self.sim_instructions,
             baseline_per_block: self.baseline.per_block,
             baseline_total: self.baseline.total,
             spu_per_block: self.spu.per_block,
@@ -188,6 +233,11 @@ pub struct MeasurementRecord {
     pub kernel: String,
     /// Block counts used (small, large).
     pub blocks: (u64, u64),
+    /// Host wall-clock spent inside the measurement's four simulator
+    /// runs (exempt from equality — see [`HostNanos`]).
+    pub wall_nanos: HostNanos,
+    /// Dynamic instructions those runs retired.
+    pub sim_instructions: u64,
     /// MMX-only steady-state per-block counters.
     pub baseline_per_block: SimStats,
     /// MMX-only whole-run counters at the larger block count.
@@ -236,6 +286,12 @@ impl MeasurementRecord {
     pub fn paper_scale(&self, paper: &PaperRow) -> f64 {
         metrics::paper_scale(&self.baseline_per_block, paper)
     }
+
+    /// Host-side simulator throughput: simulated instructions retired per
+    /// wall-clock second across this measurement's four runs.
+    pub fn sim_ips(&self) -> f64 {
+        self.wall_nanos.per_second(self.sim_instructions)
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +311,16 @@ mod tests {
                 setup_instructions: 0,
             },
             blocks: (1, 2),
+            wall_nanos: HostNanos(0),
+            sim_instructions: 0,
         }
+    }
+
+    #[test]
+    fn host_nanos_is_equality_exempt_but_still_measures() {
+        assert_eq!(HostNanos(1), HostNanos(2));
+        assert_eq!(HostNanos(500_000_000).per_second(1_000_000), 2_000_000.0);
+        assert_eq!(HostNanos(0).per_second(5), f64::INFINITY);
     }
 
     #[test]
@@ -296,8 +361,15 @@ mod tests {
     }
 }
 
-/// Run one variant at one block count, checking outputs.
-fn run_checked(build: &KernelBuild, cfg: MachineConfig, label: &str) -> Result<SimStats, String> {
+/// Run one variant at one block count, checking outputs. The returned
+/// nanoseconds cover only [`Machine::run`] — not machine construction,
+/// state initialisation or the golden check — so they are a pure
+/// interpreter-throughput signal.
+fn run_checked(
+    build: &KernelBuild,
+    cfg: MachineConfig,
+    label: &str,
+) -> Result<(SimStats, u64), String> {
     let mut m = Machine::new(cfg);
     for (addr, bytes) in &build.setup.mem_init {
         m.mem.write_bytes(*addr, bytes).map_err(|_| format!("{label}: init oob"))?;
@@ -308,9 +380,11 @@ fn run_checked(build: &KernelBuild, cfg: MachineConfig, label: &str) -> Result<S
     for (r, v) in &build.setup.mm_init {
         m.regs.write_mm(*r, *v);
     }
+    let t = std::time::Instant::now();
     let stats = m.run(&build.program).map_err(|e| format!("{label}: {e}"))?;
+    let nanos = t.elapsed().as_nanos() as u64;
     build.check(&m, label)?;
-    Ok(stats)
+    Ok((stats, nanos))
 }
 
 /// Measure a kernel with the paper's methodology: baseline and SPU
@@ -359,8 +433,8 @@ pub fn measure_with_config(
     let b_small = kernel.build(blocks_small);
     let b_large = kernel.build(blocks_large);
 
-    let base_small = run_checked(&b_small, mmx_cfg.clone(), "baseline/small")?;
-    let base_large = run_checked(&b_large, mmx_cfg, "baseline/large")?;
+    let (base_small, t_bs) = run_checked(&b_small, mmx_cfg.clone(), "baseline/small")?;
+    let (base_large, t_bl) = run_checked(&b_large, mmx_cfg, "baseline/large")?;
 
     let lifted_small = lift(&b_small.program, shape)?;
     let lifted_large = lift(&b_large.program, shape)?;
@@ -374,8 +448,8 @@ pub fn measure_with_config(
         setup: b_large.setup.clone(),
         expected: b_large.expected.clone(),
     };
-    let spu_small = run_checked(&spu_build_small, spu_cfg.clone(), "spu/small")?;
-    let spu_large = run_checked(&spu_build_large, spu_cfg, "spu/large")?;
+    let (spu_small, t_ss) = run_checked(&spu_build_small, spu_cfg.clone(), "spu/small")?;
+    let (spu_large, t_sl) = run_checked(&spu_build_large, spu_cfg, "spu/large")?;
 
     let nblocks = blocks_large - blocks_small;
     let scale = |s: SimStats| {
@@ -410,5 +484,10 @@ pub fn measure_with_config(
         spu: VariantStats { per_block: scale(spu_large - spu_small), total: spu_large },
         report: lifted_large.report,
         blocks: (blocks_small, blocks_large),
+        wall_nanos: HostNanos(t_bs + t_bl + t_ss + t_sl),
+        sim_instructions: base_small.instructions
+            + base_large.instructions
+            + spu_small.instructions
+            + spu_large.instructions,
     })
 }

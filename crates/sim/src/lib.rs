@@ -31,6 +31,7 @@
 //! crossbar from the unified register view ([`machine::Machine`]).
 
 pub mod branch;
+pub mod decode;
 pub mod error;
 pub mod machine;
 pub mod memory;

@@ -2,9 +2,10 @@
 //! execution loop.
 
 use crate::branch::{Predictor, PredictorKind};
+use crate::decode::{ClassFlags, DecodedInstr, DecodedProgram};
 use crate::error::SimError;
 use crate::memory::Memory;
-use crate::pipeline::{can_pair, effective_reads};
+use crate::pipeline::{can_pair, can_pair_ref, effective_read_mask, effective_reads};
 use crate::regfile::RegFile;
 use crate::stats::SimStats;
 use subword_isa::instr::{GpOperand, Instr, MmxOperand, RegRef};
@@ -86,6 +87,19 @@ struct ExecEffect {
     branch: Option<bool>,
 }
 
+/// Which hazard engine [`Machine::run_inner`] uses. The two engines must
+/// produce bit-identical [`SimStats`] and architectural state; the
+/// differential tests enforce this over the full kernel suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HazardEngine {
+    /// Predecoded metadata + mask-based checks — the allocation-free
+    /// fast path ([`Machine::run`]).
+    Decoded,
+    /// The original allocating `Vec<RegRef>` path, kept as the reference
+    /// oracle ([`Machine::run_reference`]).
+    Reference,
+}
+
 /// The simulated machine.
 pub struct Machine {
     /// Configuration (fixed at construction).
@@ -161,7 +175,16 @@ impl Machine {
     /// assert!(stats.ipc() > 1.0); // paddw+sub pair, jnz single
     /// ```
     pub fn run(&mut self, program: &Program) -> Result<SimStats, SimError> {
-        self.run_inner(program, &mut |_| {})
+        self.run_inner(program, &mut |_| {}, HazardEngine::Decoded)
+    }
+
+    /// Run on the reference hazard engine: the original allocating
+    /// `Vec<RegRef>` scoreboard / pairing path, with no predecoded
+    /// fast paths. Slower by design; exists as the oracle the decoded
+    /// engine is differentially tested against (identical [`SimStats`],
+    /// identical architectural results, over the full kernel suite).
+    pub fn run_reference(&mut self, program: &Program) -> Result<SimStats, SimError> {
+        self.run_inner(program, &mut |_| {}, HazardEngine::Reference)
     }
 
     /// Run with an issue-slot trace callback (see [`crate::trace`]).
@@ -170,17 +193,28 @@ impl Machine {
         program: &Program,
         sink: &mut dyn FnMut(crate::trace::SlotTrace),
     ) -> Result<SimStats, SimError> {
-        self.run_inner(program, sink)
+        self.run_inner(program, sink, HazardEngine::Decoded)
     }
 
     fn run_inner(
         &mut self,
         program: &Program,
         sink: &mut dyn FnMut(crate::trace::SlotTrace),
+        engine: HazardEngine,
     ) -> Result<SimStats, SimError> {
         self.stats = SimStats::default();
         self.mm_ready = [0; 8];
         self.cycle = 0;
+        // Predecode once per run: class flags, register masks and static
+        // pairing legality for every instruction (see [`crate::decode`]).
+        // The reference engine must stay independent of the predecode
+        // layer it is the oracle for, so it skips the decode entirely and
+        // never reads the placeholder metadata below.
+        let decoded = match engine {
+            HazardEngine::Decoded => Some(DecodedProgram::decode(program)),
+            HazardEngine::Reference => None,
+        };
+        let placeholder = DecodedInstr::default();
         let instrs = &program.instrs;
         let mut pc = 0usize;
 
@@ -194,13 +228,21 @@ impl Machine {
             if matches!(i0, Instr::Halt) {
                 break;
             }
+            let d0 = match &decoded {
+                Some(d) => *d.get(pc),
+                None => placeholder,
+            };
 
-            // SPU routing for this and the next instruction (peeked; the
-            // controller only advances at issue).
-            let r0 = self.peek_routing(0);
+            // SPU routing for this and the next instruction, peeked once
+            // per slot in a single controller walk (the controller only
+            // advances at issue).
+            let (r0, r1) = self.peek_routing_pair();
 
             // Scoreboard: wait for i0's operands.
-            let ready = self.ready_cycle(i0, &r0);
+            let ready = match engine {
+                HazardEngine::Decoded => self.ready_cycle(&d0, i0, &r0),
+                HazardEngine::Reference => self.ready_cycle_ref(i0, &r0),
+            };
             let stall_before = ready.saturating_sub(self.cycle);
             if ready > self.cycle {
                 self.stats.stall_cycles += ready - self.cycle;
@@ -208,20 +250,49 @@ impl Machine {
             }
             let slot_issue_cycle = self.cycle;
 
-            // Pairing decision.
-            let mut pair_candidate = None;
+            // Pairing decision. Under straight routing on both slots the
+            // legality is the predecoded `pairable_next` bit; the dynamic
+            // mask-based check only runs when the SPU routes this step.
+            let mut pair_candidate: Option<(Instr, DecodedInstr)> = None;
             if let Some(i1) = instrs.get(pc + 1) {
-                let r1 = self.peek_routing(1);
-                if can_pair(i0, &r0, i1, &r1) && self.ready_cycle(i1, &r1) <= self.cycle {
-                    pair_candidate = Some((*i1, r1));
+                let d1 = match &decoded {
+                    Some(d) => *d.get(pc + 1),
+                    None => placeholder,
+                };
+                let legal = match engine {
+                    HazardEngine::Decoded => {
+                        if !r0.routes_anything() && !r1.routes_anything() {
+                            d0.pairable_next
+                        } else {
+                            can_pair(i0, &r0, i1, &r1)
+                        }
+                    }
+                    HazardEngine::Reference => can_pair_ref(i0, &r0, i1, &r1),
+                };
+                if legal {
+                    let ready1 = match engine {
+                        HazardEngine::Decoded => self.ready_cycle(&d1, i1, &r1),
+                        HazardEngine::Reference => self.ready_cycle_ref(i1, &r1),
+                    };
+                    if ready1 <= self.cycle {
+                        pair_candidate = Some((*i1, d1));
+                    }
                 }
             }
 
             // Issue slot cost: 1 cycle, or the blocking scalar-multiply
             // latency.
-            let slot_cycles = if i0.is_scalar_multiply()
-                || pair_candidate.is_some_and(|(i1, _)| i1.is_scalar_multiply())
-            {
+            let slot_is_scalar_mul = match engine {
+                HazardEngine::Decoded => {
+                    d0.flags.is_scalar_multiply()
+                        || pair_candidate.is_some_and(|(_, d1)| d1.flags.is_scalar_multiply())
+                }
+                HazardEngine::Reference => {
+                    i0.is_scalar_multiply()
+                        || pair_candidate.is_some_and(|(i1, _)| i1.is_scalar_multiply())
+                }
+            };
+            let slot_cycles = if slot_is_scalar_mul {
                 self.stats.imul_block_cycles += self.cfg.scalar_mul_latency - 1;
                 self.cfg.scalar_mul_latency
             } else {
@@ -229,40 +300,64 @@ impl Machine {
             };
 
             // Execute slot 0.
+            let pc0 = pc;
             let spu_live_before = self.spu_signature();
             let routing0 = self.take_routing();
             debug_assert_eq!(routing0, r0);
-            let eff0 = self.exec(program, i0, &routing0, pc)?;
-            self.account(i0);
-            let mut mmx_in_slot = i0.is_mmx();
+            let eff0 = self.exec(program, i0, &routing0, pc0)?;
+            let mut mmx_in_slot;
+            let routable0;
+            match engine {
+                HazardEngine::Decoded => {
+                    self.account(d0.flags);
+                    mmx_in_slot = d0.flags.is_mmx();
+                    routable0 = d0.routable;
+                }
+                HazardEngine::Reference => {
+                    self.account_ref(i0);
+                    mmx_in_slot = i0.is_mmx();
+                    routable0 = i0.spu_routable();
+                }
+            }
             let trace_u = crate::trace::TraceEntry {
-                pc,
+                pc: pc0,
                 instr: *i0,
-                routed: routing0.routes_anything() && i0.spu_routable(),
+                routed: routing0.routes_anything() && routable0,
             };
             let mut trace_v = None;
             pc += 1;
 
             // An SPU control-register change (GO/clear/context switch)
             // serialises the slot: cancel the pairing.
-            let mut eff1 = ExecEffect::default();
-            let mut paired = false;
-            if let Some((i1, _)) = pair_candidate {
+            let mut slot1: Option<(usize, ExecEffect)> = None;
+            if let Some((i1, d1)) = pair_candidate {
                 if self.spu_signature() == spu_live_before {
+                    let pc1 = pc;
                     let routing1 = self.take_routing();
-                    eff1 = self.exec(program, &i1, &routing1, pc)?;
-                    self.account(&i1);
-                    mmx_in_slot |= i1.is_mmx();
+                    let eff1 = self.exec(program, &i1, &routing1, pc1)?;
+                    let routable1;
+                    match engine {
+                        HazardEngine::Decoded => {
+                            self.account(d1.flags);
+                            mmx_in_slot |= d1.flags.is_mmx();
+                            routable1 = d1.routable;
+                        }
+                        HazardEngine::Reference => {
+                            self.account_ref(&i1);
+                            mmx_in_slot |= i1.is_mmx();
+                            routable1 = i1.spu_routable();
+                        }
+                    }
                     trace_v = Some(crate::trace::TraceEntry {
-                        pc,
+                        pc: pc1,
                         instr: i1,
-                        routed: routing1.routes_anything() && i1.spu_routable(),
+                        routed: routing1.routes_anything() && routable1,
                     });
+                    slot1 = Some((pc1, eff1));
                     pc += 1;
-                    paired = true;
                 }
             }
-            if paired {
+            if slot1.is_some() {
                 self.stats.pairs += 1;
             } else {
                 self.stats.singles += 1;
@@ -273,10 +368,9 @@ impl Machine {
             self.cycle += slot_cycles;
 
             // Branch resolution (at most one branch per slot, always the
-            // last instruction issued).
+            // last instruction issued); each slot resolves at its own pc.
             let mut slot_penalty = 0u64;
-            for (eff, bpc) in [(eff0, pc.wrapping_sub(if paired { 2 } else { 1 })), (eff1, pc - 1)]
-            {
+            for (bpc, eff) in [(pc0, eff0)].into_iter().chain(slot1) {
                 let Some(taken) = eff.branch else { continue };
                 self.stats.branches += 1;
                 let mispredicted = self.predictor.update(bpc as u32, taken);
@@ -323,10 +417,11 @@ impl Machine {
         }
     }
 
-    fn peek_routing(&self, n: usize) -> StepRouting {
+    /// Routing for the next two issue slots, in one controller walk.
+    fn peek_routing_pair(&self) -> (StepRouting, StepRouting) {
         match &self.spu {
-            Some(s) => s.controller.peek_routing(n),
-            None => StepRouting::default(),
+            Some(s) => s.controller.peek_routing_pair(),
+            None => (StepRouting::default(), StepRouting::default()),
         }
     }
 
@@ -337,8 +432,26 @@ impl Machine {
         }
     }
 
-    /// Earliest cycle at which all of `i`'s register operands are ready.
-    fn ready_cycle(&self, i: &Instr, routing: &StepRouting) -> u64 {
+    /// Earliest cycle at which all of `i`'s register operands are ready
+    /// (mask engine: no allocation; the predecoded nominal mask serves
+    /// unrouted slots, the dynamic effective mask routed ones).
+    fn ready_cycle(&self, d: &DecodedInstr, i: &Instr, routing: &StepRouting) -> u64 {
+        let mut mm = if routing.routes_anything() && d.routable {
+            effective_read_mask(i, routing).mm
+        } else {
+            d.reads.mm
+        };
+        let mut t = 0;
+        while mm != 0 {
+            t = t.max(self.mm_ready[mm.trailing_zeros() as usize]);
+            mm &= mm - 1;
+        }
+        t
+    }
+
+    /// Reference-engine form of [`Machine::ready_cycle`], on the
+    /// allocating `Vec<RegRef>` API.
+    fn ready_cycle_ref(&self, i: &Instr, routing: &StepRouting) -> u64 {
         let mut t = 0;
         for r in effective_reads(i, routing) {
             if let RegRef::Mm(m) = r {
@@ -348,7 +461,34 @@ impl Machine {
         t
     }
 
-    fn account(&mut self, i: &Instr) {
+    /// Statistics accounting from the predecoded class-flags byte.
+    fn account(&mut self, flags: ClassFlags) {
+        self.stats.instructions += 1;
+        if flags.is_mmx() {
+            self.stats.mmx_instructions += 1;
+            if flags.is_realignment() {
+                self.stats.mmx_realignments += 1;
+            }
+            if flags.is_mmx_multiply() {
+                self.stats.mmx_multiplies += 1;
+            }
+        } else {
+            self.stats.scalar_instructions += 1;
+        }
+        if flags.is_scalar_multiply() {
+            self.stats.scalar_multiplies += 1;
+        }
+        if flags.is_load() {
+            self.stats.loads += 1;
+        }
+        if flags.is_store() {
+            self.stats.stores += 1;
+        }
+    }
+
+    /// Reference-engine accounting, straight off the instruction's class
+    /// predicates.
+    fn account_ref(&mut self, i: &Instr) {
         self.stats.instructions += 1;
         if i.is_mmx() {
             self.stats.mmx_instructions += 1;

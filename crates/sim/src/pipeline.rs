@@ -9,9 +9,17 @@
 //!
 //! When the SPU routes an instruction's operands, its *effective* register
 //! reads are the registers its routes touch, not the nominal operand
-//! fields — [`effective_reads`] feeds the hazard checks accordingly.
+//! fields — [`effective_read_mask`] feeds the hazard checks accordingly.
+//!
+//! Two parallel implementations exist on purpose. The mask forms
+//! ([`effective_read_mask`], [`pair_block`]) are allocation-free and feed
+//! the hot interpreter loop; the `Vec<RegRef>` forms ([`effective_reads`],
+//! [`pair_block_ref`]) are the original, straightforwardly-auditable
+//! definitions, kept as the reference oracle: [`crate::Machine::run_reference`]
+//! executes entirely on them, and the differential tests assert the two
+//! engines produce bit-identical statistics and outputs.
 
-use subword_isa::instr::{Instr, MmxOperand, RegRef};
+use subword_isa::instr::{Instr, MmxOperand, RegMask, RegRef};
 use subword_isa::reg::MmReg;
 use subword_spu::controller::StepRouting;
 use subword_spu::ByteRoute;
@@ -27,7 +35,9 @@ fn route_regs(route: &ByteRoute, out: &mut Vec<RegRef>) {
     }
 }
 
-/// Registers actually read by `instr` when issued under `routing`.
+/// Registers actually read by `instr` when issued under `routing` — the
+/// allocating reference form of [`effective_read_mask`] (each register
+/// appears once).
 ///
 /// SPU routing replaces the nominal MMX register operand reads with the
 /// set of registers the routes gather from; scalar and address reads are
@@ -73,7 +83,55 @@ pub fn effective_reads(instr: &Instr, routing: &StepRouting) -> Vec<RegRef> {
         },
         _ => return instr.reads(),
     }
+    subword_isa::instr::dedup_reg_refs(&mut v);
     v
+}
+
+/// [`effective_reads`] as a [`RegMask`]: the same register set, computed
+/// without allocating. This is what the interpreter's scoreboard and
+/// pairing hazard checks run on.
+pub fn effective_read_mask(instr: &Instr, routing: &StepRouting) -> RegMask {
+    if !routing.routes_anything() || !instr.spu_routable() {
+        return instr.read_mask();
+    }
+    let mut m = RegMask::EMPTY;
+    match instr {
+        Instr::Mmx { op, dst, src } => {
+            match routing.route_a {
+                Some(r) => m.mm |= r.reg_mask(),
+                None => {
+                    if !matches!(op, subword_isa::op::MmxOp::Movq) {
+                        m.mm |= 1 << dst.index();
+                    }
+                }
+            }
+            match (routing.route_b, src) {
+                (Some(r), MmxOperand::Reg(_)) => m.mm |= r.reg_mask(),
+                (_, MmxOperand::Reg(s)) => m.mm |= 1 << s.index(),
+                _ => {}
+            }
+            if let MmxOperand::Mem(mem) = src {
+                for r in mem.regs() {
+                    m.gp |= 1 << r.index();
+                }
+            }
+        }
+        Instr::MovqStore { addr, src } | Instr::MovdStore { addr, src } => {
+            match routing.route_a {
+                Some(r) => m.mm |= r.reg_mask(),
+                None => m.mm |= 1 << src.index(),
+            }
+            for r in addr.regs() {
+                m.gp |= 1 << r.index();
+            }
+        }
+        Instr::MovdFromMm { src, .. } => match routing.route_a {
+            Some(r) => m.mm |= r.reg_mask(),
+            None => m.mm |= 1 << src.index(),
+        },
+        _ => return instr.read_mask(),
+    }
+    m
 }
 
 /// Why a candidate pair was rejected (for diagnostics and tests).
@@ -99,9 +157,9 @@ pub enum PairBlock {
     War,
 }
 
-/// Check whether `(i0, i1)` may dual-issue, given each instruction's SPU
-/// routing. Returns the blocking rule or `None` when pairing is legal.
-pub fn pair_block(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) -> Option<PairBlock> {
+/// The structural (routing-independent) pairing rules shared by both
+/// hazard engines.
+fn pair_block_structural(i0: &Instr, i1: &Instr) -> Option<PairBlock> {
     if i0.is_branch() || matches!(i0, Instr::Halt) {
         return Some(PairBlock::FirstNotPairable);
     }
@@ -120,19 +178,57 @@ pub fn pair_block(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) ->
     if i0.is_mmx_shifter() && i1.is_mmx_shifter() {
         return Some(PairBlock::BothShifters);
     }
+    None
+}
+
+/// Check whether `(i0, i1)` may dual-issue, given each instruction's SPU
+/// routing. Returns the blocking rule or `None` when pairing is legal.
+///
+/// The RAW/WAR/same-destination checks run on [`RegMask`]s — no
+/// allocation. [`pair_block_ref`] is the `Vec`-based reference form.
+pub fn pair_block(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) -> Option<PairBlock> {
+    if let Some(b) = pair_block_structural(i0, i1) {
+        return Some(b);
+    }
+    let w0 = i0.write_mask();
+    let w1 = i1.write_mask();
+    if !w0.is_empty() && w0 == w1 {
+        return Some(PairBlock::SameDestination);
+    }
+    // RAW: i1 reads something i0 writes. Flags are exempt: the Pentium
+    // forwards U-pipe flags to a V-pipe branch within the pair.
+    if w0.intersects(effective_read_mask(i1, r1)) {
+        return Some(PairBlock::Raw);
+    }
+    // WAR: i1 writes something i0 reads.
+    if w1.intersects(effective_read_mask(i0, r0)) {
+        return Some(PairBlock::War);
+    }
+    None
+}
+
+/// Reference form of [`pair_block`]: the hazard checks run on the
+/// allocating `Vec<RegRef>` API. Used by [`crate::Machine::run_reference`]
+/// and the differential tests.
+pub fn pair_block_ref(
+    i0: &Instr,
+    r0: &StepRouting,
+    i1: &Instr,
+    r1: &StepRouting,
+) -> Option<PairBlock> {
+    if let Some(b) = pair_block_structural(i0, i1) {
+        return Some(b);
+    }
     let w0 = i0.writes();
     let w1 = i1.writes();
     if w0.is_some() && w0 == w1 {
         return Some(PairBlock::SameDestination);
     }
-    // RAW: i1 reads something i0 writes. Flags are exempt: the Pentium
-    // forwards U-pipe flags to a V-pipe branch within the pair.
     if let Some(w) = w0 {
         if effective_reads(i1, r1).contains(&w) {
             return Some(PairBlock::Raw);
         }
     }
-    // WAR: i1 writes something i0 reads.
     if let Some(w) = w1 {
         if effective_reads(i0, r0).contains(&w) {
             return Some(PairBlock::War);
@@ -144,6 +240,11 @@ pub fn pair_block(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) ->
 /// Convenience wrapper: true when the pair may dual-issue.
 pub fn can_pair(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) -> bool {
     pair_block(i0, r0, i1, r1).is_none()
+}
+
+/// Reference form of [`can_pair`] (see [`pair_block_ref`]).
+pub fn can_pair_ref(i0: &Instr, r0: &StepRouting, i1: &Instr, r1: &StepRouting) -> bool {
+    pair_block_ref(i0, r0, i1, r1).is_none()
 }
 
 #[cfg(test)]
@@ -258,6 +359,66 @@ mod tests {
         assert!(reads.contains(&RegRef::Mm(MM7)));
         assert!(!reads.contains(&RegRef::Mm(MM1)));
         assert!(reads.contains(&RegRef::Gp(R0)));
+    }
+
+    #[test]
+    fn mask_engine_agrees_with_reference_engine() {
+        let gather = ByteRoute::from_reg_words([(MM0, 0), (MM1, 0), (MM0, 1), (MM1, 1)]);
+        let pool = [
+            mmx(MmxOp::Paddw, MM0, MM1),
+            mmx(MmxOp::Movq, MM2, MM2),
+            mmx(MmxOp::Pmullw, MM0, MM1),
+            mmx(MmxOp::Punpcklwd, MM0, MM1),
+            Instr::Mmx { op: MmxOp::Psrlq, dst: MM4, src: MmxOperand::Imm(32) },
+            Instr::MovqLoad { dst: MM0, addr: Mem::base(R0) },
+            Instr::MovqStore { addr: Mem::base(R0), src: MM1 },
+            Instr::MovdFromMm { dst: R2, src: MM3 },
+            Instr::Alu { op: AluOp::Sub, dst: R0, src: GpOperand::Imm(1) },
+            Instr::Alu { op: AluOp::Imul, dst: R0, src: GpOperand::Reg(R1) },
+            Instr::Jcc { cond: Cond::Ne, target: Label(0) },
+            Instr::Nop,
+            Instr::Halt,
+        ];
+        let routings = [
+            S,
+            StepRouting { route_a: Some(gather), ..S },
+            StepRouting { route_b: Some(gather), ..S },
+            StepRouting { route_a: Some(gather), route_b: Some(gather), ..S },
+        ];
+        for i0 in &pool {
+            for r0 in &routings {
+                // The mask is exactly the set the Vec API reports.
+                let as_mask: subword_isa::instr::RegMask =
+                    effective_reads(i0, r0).into_iter().collect();
+                assert_eq!(effective_read_mask(i0, r0), as_mask, "{i0} under {r0:?}");
+                assert_eq!(
+                    effective_read_mask(i0, r0).len() as usize,
+                    effective_reads(i0, r0).len(),
+                    "duplicate register in effective_reads of {i0}"
+                );
+                for i1 in &pool {
+                    for r1 in &routings {
+                        assert_eq!(
+                            pair_block(i0, r0, i1, r1),
+                            pair_block_ref(i0, r0, i1, r1),
+                            "engines disagree on ({i0}; {i1}) under ({r0:?}; {r1:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_reads_dedupes_overlapping_routes() {
+        // Both lanes gather from MM0/MM1: each register reported once.
+        let gather = ByteRoute::from_reg_words([(MM0, 0), (MM1, 0), (MM0, 1), (MM1, 1)]);
+        let i = mmx(MmxOp::Paddw, MM2, MM3);
+        let r = StepRouting { route_a: Some(gather), route_b: Some(gather), ..S };
+        assert_eq!(effective_reads(&i, &r), vec![RegRef::Mm(MM0), RegRef::Mm(MM1)]);
+        // Same base and index register: one GP read.
+        let st = Instr::MovqStore { addr: Mem::bisd(R0, R0, 2, 0), src: MM1 };
+        assert_eq!(effective_reads(&st, &S), vec![RegRef::Mm(MM1), RegRef::Gp(R0)]);
     }
 
     #[test]

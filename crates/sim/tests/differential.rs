@@ -1,0 +1,95 @@
+//! Differential test of the two hazard engines: [`Machine::run`] (the
+//! predecoded, mask-based fast path) versus [`Machine::run_reference`]
+//! (the allocating `Vec<RegRef>` oracle) over the **full kernel suite**,
+//! in both machine variants:
+//!
+//! * MMX-only baseline programs, and
+//! * SPU-lifted programs (compiled by `subword-compile`, so the runs
+//!   exercise routed operand fetch, GO serialisation and the dynamic
+//!   mask-based pairing path) under shapes A and D.
+//!
+//! For every run the engines must agree **bit-for-bit** on [`SimStats`]
+//! and produce the golden kernel outputs. Any divergence indicts the
+//! predecode layer (class flags, register masks, `pairable_next`) or the
+//! mask-based hazard checks.
+
+use subword_compile::lift_permutes;
+use subword_kernels::framework::KernelBuild;
+use subword_kernels::suite::{dotprod_example, paper_suite, SuiteEntry};
+use subword_sim::{Machine, MachineConfig, SimStats};
+use subword_spu::{SHAPE_A, SHAPE_D};
+
+fn full_suite() -> Vec<SuiteEntry> {
+    let mut entries = paper_suite();
+    entries.push(dotprod_example());
+    entries
+}
+
+/// Run one build on one engine, checking the golden outputs.
+fn run_engine(build: &KernelBuild, cfg: MachineConfig, reference: bool, label: &str) -> SimStats {
+    let mut m = Machine::new(cfg);
+    for (addr, bytes) in &build.setup.mem_init {
+        m.mem.write_bytes(*addr, bytes).unwrap();
+    }
+    for (r, v) in &build.setup.reg_init {
+        m.regs.write_gp(*r, *v);
+    }
+    for (r, v) in &build.setup.mm_init {
+        m.regs.write_mm(*r, *v);
+    }
+    let stats = if reference { m.run_reference(&build.program) } else { m.run(&build.program) }
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    build.check(&m, label).unwrap_or_else(|e| panic!("golden mismatch: {e}"));
+    stats
+}
+
+fn assert_engines_agree(build: &KernelBuild, cfg: &MachineConfig, label: &str) {
+    let decoded = run_engine(build, cfg.clone(), false, &format!("{label}/decoded"));
+    let reference = run_engine(build, cfg.clone(), true, &format!("{label}/reference"));
+    assert_eq!(decoded, reference, "SimStats diverge for {label}");
+}
+
+/// MMX-only baseline: every suite kernel, decoded ≡ reference.
+#[test]
+fn baseline_suite_decoded_equals_reference() {
+    for e in full_suite() {
+        let build = e.kernel.build(e.blocks_small);
+        let label = format!("{}/mmx", e.kernel.name());
+        assert_engines_agree(&build, &MachineConfig::mmx_only(), &label);
+    }
+}
+
+/// SPU-lifted variants under shapes A and D: the runs route operands
+/// through the crossbar, so the dynamic (mask-based) pairing and
+/// scoreboard paths are exercised, not just the static fast path.
+#[test]
+fn spu_suite_decoded_equals_reference() {
+    for shape in [SHAPE_A, SHAPE_D] {
+        for e in full_suite() {
+            let base = e.kernel.build(e.blocks_small);
+            let lifted = lift_permutes(&base.program, &shape)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.kernel.name()));
+            let build = KernelBuild {
+                program: lifted.program,
+                setup: base.setup.clone(),
+                expected: base.expected.clone(),
+            };
+            let cfg = MachineConfig::with_spu(shape);
+            let label = format!("{}/spu-{}", e.kernel.name(), shape.name);
+            assert_engines_agree(&build, &cfg, &label);
+        }
+    }
+}
+
+/// The engines also agree on error classification (runaway-program
+/// guard), not just successful runs.
+#[test]
+fn engines_agree_on_max_cycles_fault() {
+    let p = subword_isa::asm::assemble("t", "l:\n jmp l\n halt\n").unwrap();
+    let cfg = MachineConfig { max_cycles: 1000, ..Default::default() };
+    let mut a = Machine::new(cfg.clone());
+    let mut b = Machine::new(cfg);
+    let ea = a.run(&p).unwrap_err();
+    let eb = b.run_reference(&p).unwrap_err();
+    assert_eq!(format!("{ea}"), format!("{eb}"));
+}

@@ -255,6 +255,40 @@ impl SpuController {
         StepRouting { route_a: s.route_a, route_b: s.route_b, mode_a: s.mode_a, mode_b: s.mode_b }
     }
 
+    /// The routings for the next **two** issued instructions, in one
+    /// walk — equivalent to `(peek_routing(0), peek_routing(1))` but
+    /// without redoing the first step's counter arithmetic. The pipeline
+    /// calls this once per issue slot during pairing analysis.
+    pub fn peek_routing_pair(&self) -> (StepRouting, StepRouting) {
+        if !self.go {
+            return (StepRouting::default(), StepRouting::default());
+        }
+        let ctx = &self.contexts[self.active];
+        let s0 = ctx.states[self.state as usize];
+        let r0 = StepRouting {
+            route_a: s0.route_a,
+            route_b: s0.route_b,
+            mode_a: s0.mode_a,
+            mode_b: s0.mode_b,
+        };
+        // Advance one step (counter reloads don't affect the *next*
+        // state's routing, only where a further walk would go).
+        let c = (s0.cntr & 1) as usize;
+        let next = if self.counters[c].saturating_sub(1) == 0 { s0.next0 } else { s0.next1 };
+        let r1 = if next == IDLE_STATE {
+            StepRouting::default()
+        } else {
+            let s1 = ctx.states[next as usize];
+            StepRouting {
+                route_a: s1.route_a,
+                route_b: s1.route_b,
+                mode_a: s1.mode_a,
+                mode_b: s1.mode_b,
+            }
+        };
+        (r0, r1)
+    }
+
     /// Window base register of the active context.
     pub fn window_base(&self) -> u8 {
         self.contexts[self.active].window_base
@@ -353,6 +387,26 @@ mod tests {
         }
         // Total dynamic steps: outer_trips * (inner_len*inner_trips + 1).
         assert_eq!(steps, outer_trips * (inner_len * inner_trips + 1));
+    }
+
+    /// `peek_routing_pair` equals `(peek_routing(0), peek_routing(1))` at
+    /// every point of a program's execution, including across the idle
+    /// transition.
+    #[test]
+    fn peek_pair_matches_individual_peeks() {
+        let mut c = SpuController::new(SHAPE_D);
+        c.load_program(0, &dot_program()).unwrap();
+        assert_eq!(c.peek_routing_pair(), (StepRouting::default(), StepRouting::default()));
+        c.activate();
+        for step in 0..30 {
+            assert_eq!(
+                c.peek_routing_pair(),
+                (c.peek_routing(0), c.peek_routing(1)),
+                "divergence at step {step}"
+            );
+            c.on_issue();
+        }
+        assert_eq!(c.peek_routing_pair(), (StepRouting::default(), StepRouting::default()));
     }
 
     #[test]

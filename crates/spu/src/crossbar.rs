@@ -271,6 +271,19 @@ impl ByteRoute {
         *self == ByteRoute::identity(r)
     }
 
+    /// Bitmask of the MMX registers this route gathers from: bit `i` set
+    /// ⇔ some source byte lies in `mm<i>`. This is the allocation-free
+    /// form of the route's register set, feeding the simulator's
+    /// mask-based hazard checks.
+    #[inline]
+    pub fn reg_mask(&self) -> u8 {
+        let mut m = 0u8;
+        for &b in &self.0 {
+            m |= 1 << ((b / 8) & 7);
+        }
+        m
+    }
+
     /// Lowest register window `[base_reg, base_reg + n)` that covers all
     /// source bytes, as `(base_reg, reg_count)`.
     pub fn reg_span(&self) -> (u8, u8) {

@@ -18,8 +18,11 @@
 //!
 //! `--save` writes the machine-readable baseline committed at the repo
 //! root; `--baseline` loads such a file and prints current-vs-baseline
-//! deltas (informational — it never fails the process, so the CI step
-//! stays non-gating).
+//! deltas. A missing, unreadable or schema-mismatched baseline file is a
+//! **hard error** (non-zero exit): a comparison that silently skips
+//! itself reads as "no regression" in a CI log. The CI throughput step
+//! stays non-gating via `continue-on-error`, not by swallowing errors
+//! here.
 
 use std::time::Instant;
 use subword_bench::json::Json;
@@ -257,9 +260,13 @@ fn main() {
                     }
                 }
             }
-            // Non-gating by design: a missing or stale baseline is
-            // reported, never fatal.
-            Err(e) => println!("\nbaseline comparison skipped: {e}"),
+            // A baseline that cannot be compared is a hard error: the
+            // caller asked for a comparison, and "skipped" in a CI log
+            // is indistinguishable from "no regression".
+            Err(e) => {
+                eprintln!("\nerror: baseline comparison against {path} failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -26,6 +26,10 @@ fn saved_pcts(base: &MachineConfig, cache: &CompileCache) -> Vec<f64> {
     cfg.entries =
         suite.into_iter().enumerate().filter(|(i, _)| picks.contains(i)).map(|(_, e)| e).collect();
     cfg.base = base.clone();
+    // This study sweeps non-default machine parameters, where the
+    // scheduler's default-latency cost model makes no never-slower
+    // promise — and only the unscheduled columns are read below.
+    cfg.measure_scheduled = false;
     let run = run_sweep_with_cache(&cfg, cache).expect("sensitivity sweep");
     run.report.cells.iter().map(|c| c.record.pct_cycles_saved()).collect()
 }

@@ -1,22 +1,97 @@
 //! Runs the full kernel × crossbar-shape job matrix — all nine kernels
 //! (Figure 9's eight plus the Figure 5 dot-product) under each Table 1
 //! shape A–D — in one parallel pass, and emits the resulting
-//! [`SweepReport`] as JSON on stdout (progress and the cache summary go
-//! to stderr).
+//! [`SweepReport`] as JSON on stdout (progress, the cache summary and
+//! the scheduling report go to stderr).
 //!
 //! ```text
 //! cargo run --release -p subword-bench --bin sweep            # JSON to stdout
 //! cargo run --release -p subword-bench --bin sweep -- out.json
+//! cargo run --release -p subword-bench --bin sweep -- --table out.json
 //! ```
 //!
-//! The process asserts the sweep's core efficiency invariant before
-//! emitting anything: chain extraction and lifting ran **exactly once
-//! per (kernel, shape)** — every other lift request was served from the
-//! compiled-program cache.
+//! `--table` re-prints the per-kernel scheduling report (cycles and
+//! issued-pair rate, scheduled vs. unscheduled, per variant) from an
+//! existing report file without re-running the sweep — the CI
+//! scheduling-report step uses it on the job's own sweep artifact.
+//!
+//! The process asserts the sweep's invariants before emitting anything:
+//!
+//! * chain extraction and lifting ran **exactly once per (kernel,
+//!   shape)** — every other lift request was served from the
+//!   compiled-program cache;
+//! * the list scheduler never *costs* cycles: on every cell, both the
+//!   scheduled MMX-only and scheduled MMX+SPU variants finish in at
+//!   most the unscheduled cycle count;
+//! * scheduling pays somewhere: at least half the Figure 9 suite
+//!   kernels dual-issue at a strictly higher rate once scheduled.
 
 use subword_bench::sweep::{run_sweep, SweepConfig, SweepReport};
+use subword_bench::Table;
+
+/// The per-kernel scheduling report: cycles and issued-pair rate,
+/// scheduled vs. unscheduled, for both variants of every cell at the
+/// report's first block scale.
+fn sched_table(report: &SweepReport) -> String {
+    let mut t = Table::new(&[
+        "kernel", "shape", "mmx cyc", "sched", "d%", "pair%", "sched%", "spu cyc", "sched", "d%",
+        "pair%", "sched%", "moved",
+    ]);
+    let pct = |v: f64| format!("{:.1}", 100.0 * v);
+    let delta = |unsched: u64, sched: u64| {
+        format!("{:+.1}", 100.0 * (sched as f64 - unsched as f64) / unsched.max(1) as f64)
+    };
+    let first_scale = report.first_scale();
+    for c in report.cells.iter().filter(|c| c.scale == first_scale) {
+        let r = &c.record;
+        t.row(vec![
+            r.kernel.clone(),
+            c.shape.clone(),
+            r.baseline_per_block.cycles.to_string(),
+            r.sched_baseline_per_block.cycles.to_string(),
+            delta(r.baseline_per_block.cycles, r.sched_baseline_per_block.cycles),
+            pct(r.baseline_per_block.pair_rate()),
+            pct(r.sched_baseline_per_block.pair_rate()),
+            r.spu_per_block.cycles.to_string(),
+            r.sched_spu_per_block.cycles.to_string(),
+            delta(r.spu_per_block.cycles, r.sched_spu_per_block.cycles),
+            pct(r.spu_per_block.pair_rate()),
+            pct(r.sched_spu_per_block.pair_rate()),
+            format!("{}/{}", r.sched_moved_baseline, r.sched_moved_spu),
+        ]);
+    }
+    t.render()
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    // `--table <file>`: report on an existing sweep artifact and exit.
+    if let Some(i) = args.iter().position(|a| a == "--table") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("usage: sweep --table <report.json>");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(1);
+        });
+        let report = SweepReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: parse {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("scheduling report ({path}):");
+        println!("{}", sched_table(&report));
+        match report.check_sched_invariants() {
+            Ok(()) => println!("scheduling invariants hold: no cell costs cycles, pair rate up"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let cfg = SweepConfig::full_matrix();
     let kernels = cfg.entries.len();
     let shapes = cfg.shapes.len();
@@ -41,6 +116,8 @@ fn main() {
         report.total_sim_instructions(),
         report.sim_ips() / 1e6,
     );
+    eprintln!("\nscheduling report (per-block, scheduled vs. unscheduled):");
+    eprintln!("{}", sched_table(report));
 
     // The whole point of the sweep layer: one compilation per (kernel,
     // shape), everything else replayed from the cache.
@@ -52,14 +129,19 @@ fn main() {
     assert_eq!(stats.stale_fallbacks, 0, "no artifact should go stale mid-sweep");
     assert_eq!(report.cells.len(), kernels * shapes * cfg.block_scales.len());
 
+    // The scheduler's contract: never slower, usually better paired.
+    if let Err(e) = report.check_sched_invariants() {
+        panic!("scheduling invariant violated: {e}");
+    }
+
     let json = report.to_json();
     // Self-check: the emitted document parses back to the same report.
     let parsed = SweepReport::from_json(&json).expect("emitted JSON re-parses");
     assert_eq!(&parsed, report, "JSON round trip must be lossless");
 
-    match std::env::args().nth(1) {
+    match args.get(1) {
         Some(path) => {
-            std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
             eprintln!("sweep: report written to {path}");
         }
         None => println!("{json}"),

@@ -76,13 +76,6 @@ impl Json {
         }
     }
 
-    /// Serialize compactly.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Serialize with two-space indentation.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
@@ -166,6 +159,16 @@ impl Json {
             return Err(format!("trailing garbage at byte {pos}"));
         }
         Ok(value)
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Compact (single-line) serialization; [`Json::to_pretty`] is the
+    /// indented form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

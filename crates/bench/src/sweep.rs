@@ -33,7 +33,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use subword_compile::{analyze_with_result, CompiledKernel, TransformResult};
 use subword_isa::program::Program;
-use subword_kernels::framework::{measure_with_config, HostNanos, Measurement, MeasurementRecord};
+use subword_kernels::framework::{
+    measure_with_config_opts, HostNanos, Measurement, MeasurementRecord,
+};
 use subword_kernels::suite::{dotprod_example, paper_suite, SuiteEntry};
 use subword_sim::{MachineConfig, SimStats};
 use subword_spu::crossbar::{CrossbarShape, CANONICAL_SHAPES};
@@ -50,6 +52,15 @@ pub struct SweepConfig {
     pub block_scales: Vec<u64>,
     /// Machine parameters for both variants of every measurement.
     pub base: MachineConfig,
+    /// Also measure the list-scheduled form of both variants (the v3
+    /// `sched_*` columns). On by default. Disable for sweeps over
+    /// non-default `base` machine parameters: the scheduler's
+    /// acceptance cost model replays the *default* latencies (DESIGN.md
+    /// §7), so its never-slower contract is only asserted there — and
+    /// callers that never read the `sched_*` columns save half the
+    /// simulator runs. When disabled, the `sched_*` columns mirror the
+    /// unscheduled ones (zero deltas, zero moved instructions).
+    pub measure_scheduled: bool,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
 }
@@ -62,6 +73,7 @@ impl SweepConfig {
             shapes: shapes.to_vec(),
             block_scales: vec![1],
             base: MachineConfig::default(),
+            measure_scheduled: true,
             threads: None,
         }
     }
@@ -105,6 +117,11 @@ pub struct CacheStats {
     pub stale_fallbacks: u64,
 }
 
+/// One cache slot: the artifact for a (kernel, shape) key, locked
+/// independently so racing misses on the same key serialize on one
+/// analysis without blocking the whole cache.
+type CacheSlot = Arc<Mutex<Option<Arc<CompiledKernel>>>>;
+
 /// Shared compiled-program cache keyed by (kernel, crossbar shape).
 ///
 /// The first lift request for a key runs [`subword_compile::analyze`]
@@ -114,10 +131,12 @@ pub struct CacheStats {
 /// holding the same cache — replays the artifact at instantiation cost.
 /// Per-key locking means concurrent jobs on the same key block on one
 /// analysis rather than duplicating it, keeping the miss counter an
-/// exact "compilations performed" count.
+/// exact "compilations performed" count. The artifact carries the
+/// scheduled order alongside the plan, so one analysis serves both the
+/// scheduled and unscheduled variants of every measurement.
 #[derive(Default)]
 pub struct CompileCache {
-    slots: Mutex<HashMap<(String, CrossbarShape), Arc<Mutex<Option<Arc<CompiledKernel>>>>>>,
+    slots: Mutex<HashMap<(String, CrossbarShape), CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stale_fallbacks: AtomicU64,
@@ -328,13 +347,14 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
                 let key = entry.kernel.name();
                 let lift =
                     |program: &Program, shape: &CrossbarShape| cache.lift(key, program, shape);
-                let outcome = measure_with_config(
+                let outcome = measure_with_config_opts(
                     entry.kernel,
                     entry.blocks_small * scale,
                     entry.blocks_large * scale,
                     &shape,
                     &cfg.base,
                     &lift,
+                    cfg.measure_scheduled,
                 )
                 .map(|measurement| SweepMeasurement { kernel: key, shape, scale, measurement })
                 .map_err(|err| format!("{key}/shape {}: {err}", shape.name));
@@ -386,14 +406,16 @@ impl SweepReport {
         self.cells.iter().find(|c| c.kernel() == kernel && c.shape == shape && c.scale == scale)
     }
 
-    /// The report's first configured block scale (helpers above pin to
-    /// it so multi-scale reports do not yield duplicate kernel rows).
-    fn first_scale(&self) -> u64 {
+    /// The report's first configured block scale (helpers above — and
+    /// the sweep binary's scheduling table — pin to it so multi-scale
+    /// reports do not yield duplicate kernel rows).
+    pub fn first_scale(&self) -> u64 {
         self.scales.first().copied().unwrap_or(1)
     }
 
     /// Dynamic instructions simulated across every cell (each cell runs
-    /// the interpreter four times; this sums what those runs retired).
+    /// the interpreter eight times — four with `measure_scheduled` off —
+    /// and this sums what those runs retired).
     pub fn total_sim_instructions(&self) -> u64 {
         self.cells.iter().map(|c| c.record.sim_instructions).sum()
     }
@@ -409,6 +431,55 @@ impl SweepReport {
         HostNanos(in_sim).per_second(self.total_sim_instructions())
     }
 
+    /// The scheduling contract the v3 `sched_*` columns must satisfy
+    /// (single definition for the sweep binary's gate, its `--table`
+    /// mode, and the test suite): no cell may run more per-block cycles
+    /// scheduled than unscheduled — on either variant — and at least
+    /// half the kernels must dual-issue at a strictly higher rate on
+    /// some cell once scheduled. Reports produced with
+    /// `measure_scheduled` off fail the improvement half deliberately —
+    /// they carry no scheduling signal to gate on. Returns a
+    /// description of the first violation.
+    pub fn check_sched_invariants(&self) -> Result<(), String> {
+        for c in &self.cells {
+            let r = &c.record;
+            if r.sched_baseline_per_block.cycles > r.baseline_per_block.cycles {
+                return Err(format!(
+                    "{}/shape {}: scheduled baseline costs cycles ({} > {})",
+                    r.kernel,
+                    c.shape,
+                    r.sched_baseline_per_block.cycles,
+                    r.baseline_per_block.cycles
+                ));
+            }
+            if r.sched_spu_per_block.cycles > r.spu_per_block.cycles {
+                return Err(format!(
+                    "{}/shape {}: scheduled SPU variant costs cycles ({} > {})",
+                    r.kernel, c.shape, r.sched_spu_per_block.cycles, r.spu_per_block.cycles
+                ));
+            }
+        }
+        let kernels: std::collections::BTreeSet<&str> =
+            self.cells.iter().map(|c| c.kernel()).collect();
+        let improved = kernels
+            .iter()
+            .filter(|k| {
+                self.cells.iter().any(|c| {
+                    c.kernel() == **k
+                        && (c.record.sched_baseline_pair_rate_gain() > 0.0
+                            || c.record.sched_spu_pair_rate_gain() > 0.0)
+                })
+            })
+            .count();
+        if improved * 2 < kernels.len() {
+            return Err(format!(
+                "scheduling raised the issued-pair rate on only {improved} of {} kernels",
+                kernels.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Serialize to pretty-printed JSON.
     pub fn to_json(&self) -> String {
         self.to_json_value().to_pretty()
@@ -416,7 +487,7 @@ impl SweepReport {
 
     fn to_json_value(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("subword-sweep/v2".into())),
+            ("schema".into(), Json::Str("subword-sweep/v3".into())),
             ("wall_nanos".into(), Json::UInt(self.wall_nanos.0)),
             (
                 "shapes".into(),
@@ -451,7 +522,7 @@ impl SweepReport {
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
         let root = Json::parse(text)?;
         let schema = root.field("schema")?.as_str()?;
-        if schema != "subword-sweep/v2" {
+        if schema != "subword-sweep/v3" {
             return Err(format!("unsupported schema `{schema}`"));
         }
         let shapes = root
@@ -494,7 +565,10 @@ impl SweepReport {
     }
 }
 
-const STAT_FIELDS: [(&str, fn(&SimStats) -> u64, fn(&mut SimStats, u64)); 21] = [
+/// Accessor pair mapping one [`SimStats`] counter to its JSON field.
+type StatField = (&'static str, fn(&SimStats) -> u64, fn(&mut SimStats, u64));
+
+const STAT_FIELDS: [StatField; 22] = [
     ("cycles", |s| s.cycles, |s, v| s.cycles = v),
     ("instructions", |s| s.instructions, |s, v| s.instructions = v),
     ("mmx_instructions", |s| s.mmx_instructions, |s, v| s.mmx_instructions = v),
@@ -509,6 +583,7 @@ const STAT_FIELDS: [(&str, fn(&SimStats) -> u64, fn(&mut SimStats, u64)); 21] = 
     ("imul_block_cycles", |s| s.imul_block_cycles, |s, v| s.imul_block_cycles = v),
     ("pairs", |s| s.pairs, |s, v| s.pairs = v),
     ("singles", |s| s.singles, |s, v| s.singles = v),
+    ("mmx_pairs", |s| s.mmx_pairs, |s, v| s.mmx_pairs = v),
     ("mmx_active_cycles", |s| s.mmx_active_cycles, |s, v| s.mmx_active_cycles = v),
     ("loads", |s| s.loads, |s, v| s.loads = v),
     ("stores", |s| s.stores, |s, v| s.stores = v),
@@ -544,6 +619,12 @@ fn cell_to_json(c: &SweepCell) -> Json {
         ("baseline_total".into(), stats_to_json(&r.baseline_total)),
         ("spu_per_block".into(), stats_to_json(&r.spu_per_block)),
         ("spu_total".into(), stats_to_json(&r.spu_total)),
+        ("sched_baseline_per_block".into(), stats_to_json(&r.sched_baseline_per_block)),
+        ("sched_baseline_total".into(), stats_to_json(&r.sched_baseline_total)),
+        ("sched_spu_per_block".into(), stats_to_json(&r.sched_spu_per_block)),
+        ("sched_spu_total".into(), stats_to_json(&r.sched_spu_total)),
+        ("sched_moved_baseline".into(), Json::UInt(r.sched_moved_baseline)),
+        ("sched_moved_spu".into(), Json::UInt(r.sched_moved_spu)),
         ("removed_static".into(), Json::UInt(r.removed_static)),
         ("setup_instructions".into(), Json::UInt(r.setup_instructions)),
         ("candidates".into(), Json::UInt(r.candidates)),
@@ -564,6 +645,12 @@ fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
             baseline_total: stats_from_json(v.field("baseline_total")?)?,
             spu_per_block: stats_from_json(v.field("spu_per_block")?)?,
             spu_total: stats_from_json(v.field("spu_total")?)?,
+            sched_baseline_per_block: stats_from_json(v.field("sched_baseline_per_block")?)?,
+            sched_baseline_total: stats_from_json(v.field("sched_baseline_total")?)?,
+            sched_spu_per_block: stats_from_json(v.field("sched_spu_per_block")?)?,
+            sched_spu_total: stats_from_json(v.field("sched_spu_total")?)?,
+            sched_moved_baseline: v.field("sched_moved_baseline")?.as_u64()?,
+            sched_moved_spu: v.field("sched_moved_spu")?.as_u64()?,
             removed_static: v.field("removed_static")?.as_u64()?,
             setup_instructions: v.field("setup_instructions")?.as_u64()?,
             candidates: v.field("candidates")?.as_u64()?,

@@ -136,5 +136,42 @@ fn sweep_report_round_trips_through_json() {
 
     // Corrupted documents are rejected, not mis-parsed.
     assert!(SweepReport::from_json("{}").is_err());
-    assert!(SweepReport::from_json(&json.replace("subword-sweep/v2", "v0")).is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v3", "v0")).is_err());
+}
+
+/// (d) The v3 scheduled columns hold the orchestration claims: the list
+/// scheduler never costs a cycle on any cell, retires the same
+/// instruction stream, raises the issued-pair rate on at least half the
+/// kernels, and the new columns survive the JSON round trip.
+#[test]
+fn scheduled_columns_hold_the_orchestration_claims() {
+    let run = run_sweep(&SweepConfig::full(&[SHAPE_A])).unwrap();
+    let report = &run.report;
+
+    // The shared contract (also gated by the sweep binary and CI): no
+    // cell costs cycles, ≥ half the kernels pair strictly better.
+    report.check_sched_invariants().unwrap();
+
+    for c in &report.cells {
+        let r = &c.record;
+        // Scheduling permutes, it never adds or removes work.
+        assert_eq!(
+            r.sched_baseline_per_block.instructions, r.baseline_per_block.instructions,
+            "{}: instruction stream changed",
+            r.kernel
+        );
+        assert_eq!(r.sched_spu_per_block.instructions, r.spu_per_block.instructions);
+        // Pair-rate gains only ever come with a moved instruction.
+        if r.sched_moved_baseline == 0 {
+            assert_eq!(r.sched_baseline_per_block, r.baseline_per_block, "{}", r.kernel);
+        }
+    }
+
+    let parsed = SweepReport::from_json(&report.to_json()).unwrap();
+    for (p, c) in parsed.cells.iter().zip(&report.cells) {
+        assert_eq!(p.record.sched_baseline_per_block, c.record.sched_baseline_per_block);
+        assert_eq!(p.record.sched_spu_total, c.record.sched_spu_total);
+        assert_eq!(p.record.sched_moved_baseline, c.record.sched_moved_baseline);
+        assert_eq!(p.record.sched_moved_spu, c.record.sched_moved_spu);
+    }
 }

@@ -50,6 +50,10 @@ struct PlanTemplate {
     removal: BTreeSet<usize>,
     /// Operand routes per kept body position.
     routes: Vec<RoutePair>,
+    /// Scheduled emission order of the kept body (identity when the
+    /// scheduler found nothing to improve). Order depends only on the
+    /// body and its routes, so it replays across block counts.
+    order: Vec<usize>,
     /// SPU context the loop was assigned.
     context: usize,
     /// Window base chosen for windowed shapes.
@@ -137,6 +141,7 @@ pub fn analyze_with_result(
             PlanTemplate {
                 removal: plan.removal.clone(),
                 routes: plan.routes.clone(),
+                order: plan.order.clone(),
                 context: plan.context,
                 window_base: plan.spu_program.window_base,
             },
@@ -221,6 +226,16 @@ impl CompiledKernel {
                 ));
                 return None;
             }
+            // A non-identity scheduled order was planned for a body with
+            // no interior labels; the body comparison above only checks
+            // instructions, so re-check the labels on *this* program —
+            // the ordered rewrite cannot re-bind an interior label.
+            let reordered = !crate::schedule::is_identity(&t.order);
+            if reordered && crate::schedule::has_interior_label(program, l) {
+                stale =
+                    Some(format!("loop {ordinal}: a label is now bound inside the scheduled body"));
+                return None;
+            }
             let kept = t.routes.len();
             if !counter_fits(kept, trips) {
                 stale = Some(format!(
@@ -238,12 +253,20 @@ impl CompiledKernel {
                 stale = Some(format!("loop {ordinal}: replayed SPU program invalid: {e}"));
                 return None;
             }
+            let Some(sched_spu_program) =
+                crate::pass::permuted_spu_program(&spu_program, &t.routes, &t.order, &self.shape)
+            else {
+                stale = Some(format!("loop {ordinal}: replayed scheduled SPU program invalid"));
+                return None;
+            };
             Some(LoopPlan {
                 head: l.head,
                 removal: t.removal.clone(),
                 routes: t.routes.clone(),
+                order: t.order.clone(),
                 context: t.context,
                 spu_program,
+                sched_spu_program,
             })
         });
         if let Some(why) = stale {

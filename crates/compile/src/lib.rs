@@ -21,7 +21,14 @@
 //!    loop) plus one [`subword_spu::SpuProgram`] per loop, assigned to
 //!    SPU contexts ([`rewrite`]);
 //! 6. reports the static accounting that, combined with a simulation
-//!    diff, reproduces the paper's Table 3 ([`pass::CompileReport`]).
+//!    diff, reproduces the paper's Table 3 ([`pass::CompileReport`]);
+//! 7. list-schedules the result for dual-issue ([`schedule`]): loop
+//!    bodies are reordered with their SPU routes permuted in lockstep,
+//!    every other straight-line region under idle routing — the
+//!    [`pass::ScheduledVariant`] carried on every [`TransformResult`].
+//!    [`schedule::schedule_program`] applies the same pass to plain
+//!    (MMX-only) programs, which is how the kernel framework schedules
+//!    the baseline variant.
 //!
 //! [`verify::differential`] re-runs both variants on the simulator and
 //! compares the declared output ranges byte for byte.
@@ -32,6 +39,7 @@ pub mod chains;
 pub mod liveness;
 pub mod pass;
 pub mod rewrite;
+pub mod schedule;
 pub mod verify;
 
 pub use annotate::annotate;
@@ -39,6 +47,8 @@ pub use annotate::annotate;
 pub use artifact::{analyze, analyze_with_result, CompiledKernel};
 
 pub use pass::{
-    lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, TransformResult,
+    lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, ScheduledVariant,
+    TransformResult,
 };
+pub use schedule::{schedule_block, schedule_program, ScheduleReport};
 pub use verify::{differential, TestSetup};

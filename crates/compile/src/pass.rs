@@ -6,10 +6,12 @@ use crate::chains::{
 };
 use crate::liveness::{live_on_loop_exit, mm_live_in, MmMask};
 use crate::rewrite;
+use crate::schedule;
 use std::collections::BTreeSet;
 use std::fmt;
 use subword_isa::instr::Instr;
 use subword_isa::program::{LoopInfo, Program};
+use subword_spu::controller::StepRouting;
 use subword_spu::crossbar::CrossbarShape;
 use subword_spu::{ByteRoute, SpuProgram};
 
@@ -113,12 +115,31 @@ impl CompileReport {
 /// Result of [`lift_permutes`].
 pub struct TransformResult {
     /// The rewritten program (setup prologue + GO stores, permutes
-    /// removed).
+    /// removed), in the builder's original emission order.
     pub program: Program,
     /// SPU programs by context slot.
     pub spu_programs: Vec<(usize, SpuProgram)>,
     /// Accounting.
     pub report: CompileReport,
+    /// The same transformation with the pairing-aware list scheduler
+    /// applied (see [`crate::schedule`]): transformed loop bodies are
+    /// re-emitted in the scheduled order with their SPU routes permuted
+    /// in lockstep, and every other straight-line region is scheduled
+    /// under idle-controller routing.
+    pub scheduled: ScheduledVariant,
+}
+
+/// The scheduled form of a [`TransformResult`] — semantically identical
+/// to the unscheduled program (same architectural results, same golden
+/// outputs), reordered for dual-issue.
+pub struct ScheduledVariant {
+    /// The scheduled program (prologue + GO stores included).
+    pub program: Program,
+    /// SPU programs by context slot, states permuted to match the
+    /// scheduled loop bodies.
+    pub spu_programs: Vec<(usize, SpuProgram)>,
+    /// Static instructions whose position the scheduler changed.
+    pub moved: usize,
 }
 
 /// A transformed loop, pre-rewrite.
@@ -127,8 +148,13 @@ pub(crate) struct LoopPlan {
     pub removal: BTreeSet<usize>,
     /// Routes per *kept* body position (`None` = straight).
     pub routes: Vec<RoutePair>,
+    /// Scheduled emission order of the kept body
+    /// (`order[new_pos] = kept_pos`; identity when unschedulable).
+    pub order: Vec<usize>,
     pub context: usize,
     pub spu_program: SpuProgram,
+    /// `spu_program` with its states permuted by `order`.
+    pub sched_spu_program: SpuProgram,
 }
 
 /// Run the lifting pass against `shape`.
@@ -249,19 +275,34 @@ pub(crate) fn transform_with(
     }
 
     let removed_static: usize = plans.iter().map(|p| p.removal.len()).sum();
-    let (program_out, setup_instructions) =
-        rewrite::rewrite(program, &plans).map_err(CompileError::RewriteFailed)?;
+    let unsched = rewrite::rewrite(program, &plans, false).map_err(CompileError::RewriteFailed)?;
+
+    // The scheduled variant: re-emit transformed loop bodies in their
+    // planned order (routes permuted in lockstep — the rewriter returns
+    // those body ranges as frozen), then list-schedule every remaining
+    // straight-line region under idle-controller routing.
+    let ordered = rewrite::rewrite(program, &plans, true).map_err(CompileError::RewriteFailed)?;
+    let (sched_program, sched_report) =
+        schedule::schedule_regions(&ordered.program, &ordered.frozen_bodies);
+    let body_moved: usize = plans.iter().map(|p| schedule::moved_count(&p.order)).sum();
+    let scheduled = ScheduledVariant {
+        program: sched_program,
+        spu_programs: plans.iter().map(|p| (p.context, p.sched_spu_program.clone())).collect(),
+        moved: body_moved + sched_report.moved,
+    };
+
     let spu_programs = plans.into_iter().map(|p| (p.context, p.spu_program)).collect::<Vec<_>>();
 
     Ok(TransformResult {
-        program: program_out,
+        program: unsched.program,
         spu_programs,
         report: CompileReport {
             name: program.name.clone(),
             loops: reports,
             removed_static,
-            setup_instructions,
+            setup_instructions: unsched.setup_instructions,
         },
+        scheduled,
     })
 }
 
@@ -341,13 +382,17 @@ pub(crate) fn plan_loop(
         }
         match try_routes(&body, &removal, shape, trips) {
             Ok(routes) => {
-                let spu_program = build_spu_program(&program.name, &routes, trips, shape, context);
+                let spu_program = build_spu_program(&program.name, &routes, trips, shape, context)?;
+                let (order, sched_spu_program) =
+                    schedule_kept_body(program, l, &body, &removal, &routes, &spu_program, shape);
                 return Some(LoopPlan {
                     head: l.head,
                     removal,
                     routes,
+                    order,
                     context,
-                    spu_program: spu_program?,
+                    spu_program,
+                    sched_spu_program,
                 });
             }
             Err(blame) => {
@@ -364,6 +409,64 @@ pub(crate) fn plan_loop(
 
 /// Operand-route pair for one kept instruction.
 pub(crate) type RoutePair = (Option<ByteRoute>, Option<ByteRoute>);
+
+/// Convert kept-body routes into the per-instruction [`StepRouting`] the
+/// scheduler's hazard model runs on (plain gather modes, exactly what
+/// [`SpuProgram::single_loop`] programs).
+pub(crate) fn route_steps(routes: &[RoutePair]) -> Vec<StepRouting> {
+    routes
+        .iter()
+        .map(|&(route_a, route_b)| StepRouting { route_a, route_b, ..StepRouting::default() })
+        .collect()
+}
+
+/// Permute an SPU program's loop states to match a scheduled kept-body
+/// order: state `k` must route the instruction emitted at position `k`.
+/// Shared by [`plan_loop`] and the artifact replay path so fresh and
+/// cached lifts schedule identically.
+pub(crate) fn permuted_spu_program(
+    spu_program: &SpuProgram,
+    routes: &[RoutePair],
+    order: &[usize],
+    shape: &CrossbarShape,
+) -> Option<SpuProgram> {
+    if schedule::is_identity(order) {
+        return Some(spu_program.clone());
+    }
+    let sched_routes: Vec<RoutePair> = order.iter().map(|&k| routes[k]).collect();
+    let trips = spu_program.counter_init[0] as u64 / routes.len() as u64;
+    let mut p = SpuProgram::single_loop(spu_program.name.clone(), &sched_routes, trips);
+    p.window_base = spu_program.window_base;
+    p.validate(shape).ok()?;
+    Some(p)
+}
+
+/// Pairing-aware emission order for a planned loop's kept body, plus the
+/// SPU program replaying the routes in that order. Identity (and the
+/// original SPU program) when the body cannot be reordered: a label
+/// bound strictly inside the body, or a scheduled SPU program that fails
+/// validation.
+fn schedule_kept_body(
+    program: &Program,
+    l: &LoopInfo,
+    body: &[Instr],
+    removal: &BTreeSet<usize>,
+    routes: &[RoutePair],
+    spu_program: &SpuProgram,
+    shape: &CrossbarShape,
+) -> (Vec<usize>, SpuProgram) {
+    let identity: Vec<usize> = (0..routes.len()).collect();
+    if schedule::has_interior_label(program, l) {
+        return (identity, spu_program.clone());
+    }
+    let kept: Vec<Instr> =
+        (0..body.len()).filter(|p| !removal.contains(p)).map(|p| body[p]).collect();
+    let order = schedule::schedule_block(&kept, &route_steps(routes), true);
+    match permuted_spu_program(spu_program, routes, &order, shape) {
+        Some(sched) => (order, sched),
+        None => (identity, spu_program.clone()),
+    }
+}
 
 /// Compute routes for every kept position, or return the candidate to
 /// blame for a failure.

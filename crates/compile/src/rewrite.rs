@@ -1,5 +1,11 @@
 //! Program reconstruction: delete lifted permutes, prepend the MMIO setup
 //! prologue, and drop a GO store in front of each transformed loop.
+//!
+//! Two emission modes share one walk: the plain mode keeps every
+//! transformed loop body in its original (kept) order; the ordered mode
+//! re-emits each body in its [`LoopPlan`]'s scheduled order — the SPU
+//! program passed alongside must have its states permuted identically
+//! (see [`crate::pass::permuted_spu_program`]).
 
 use crate::pass::LoopPlan;
 use std::collections::HashMap;
@@ -7,15 +13,33 @@ use subword_isa::program::{Label, LoopInfo, Program};
 use subword_isa::ProgramBuilder;
 use subword_spu::mmio::{emit_spu_go, emit_spu_setup};
 
-/// Rebuild `program` according to `plans`. Returns the new program and
-/// the number of setup instructions added (prologue + GO stores).
-pub(crate) fn rewrite(program: &Program, plans: &[LoopPlan]) -> Result<(Program, usize), String> {
+/// Output of [`rewrite`].
+pub(crate) struct Rewritten {
+    /// The rebuilt program.
+    pub program: Program,
+    /// Setup instructions added (MMIO prologue + GO stores).
+    pub setup_instructions: usize,
+    /// Half-open ranges the transformed loop bodies occupy in the new
+    /// program — the region scheduler must treat those as frozen, since
+    /// their instructions execute under per-position SPU routing.
+    pub frozen_bodies: Vec<(usize, usize)>,
+}
+
+/// Rebuild `program` according to `plans`. With `ordered` set, each
+/// transformed body is emitted in its plan's scheduled order (the
+/// corresponding GO store programs the permuted SPU program).
+pub(crate) fn rewrite(
+    program: &Program,
+    plans: &[LoopPlan],
+    ordered: bool,
+) -> Result<Rewritten, String> {
     let mut b = ProgramBuilder::new(format!("{}+spu", program.name));
 
     // Prologue: program every context once.
     let mut setup = 0usize;
     for p in plans {
-        setup += emit_spu_setup(&mut b, p.context, &p.spu_program);
+        let spu_program = if ordered { &p.sched_spu_program } else { &p.spu_program };
+        setup += emit_spu_setup(&mut b, p.context, spu_program);
     }
 
     // Old label id -> new label handle (same names).
@@ -37,38 +61,66 @@ pub(crate) fn rewrite(program: &Program, plans: &[LoopPlan]) -> Result<(Program,
         labels_at.entry(program.resolve(l)).or_default().push(id as u32);
     }
 
-    let mut old_to_new: Vec<usize> = Vec::with_capacity(program.instrs.len() + 1);
-    for (i, ins) in program.instrs.iter().enumerate() {
+    // Remap branch targets onto the new label handles.
+    let remap = |ins: &subword_isa::Instr| match ins.branch_target() {
+        Some(t) => {
+            let nt = label_map[&t.0];
+            match ins {
+                subword_isa::Instr::Jmp { .. } => subword_isa::Instr::Jmp { target: nt },
+                subword_isa::Instr::Jcc { cond, .. } => {
+                    subword_isa::Instr::Jcc { cond: *cond, target: nt }
+                }
+                _ => unreachable!(),
+            }
+        }
+        None => *ins,
+    };
+
+    let mut old_to_new: Vec<usize> = vec![0; program.instrs.len() + 1];
+    let mut i = 0usize;
+    while i < program.instrs.len() {
         // GO store goes *before* the loop-head label so the back edge
         // re-enters past it.
         if let Some(plan) = go_at.get(&i) {
-            emit_spu_go(&mut b, plan.context, &plan.spu_program);
+            let spu_program = if ordered { &plan.sched_spu_program } else { &plan.spu_program };
+            emit_spu_go(&mut b, plan.context, spu_program);
             setup += 1;
+            let scheduled = ordered && !crate::schedule::is_identity(&plan.order);
+            if scheduled {
+                // Emit the whole kept body in the scheduled order.
+                // `schedule_kept_body` only produces a non-identity
+                // order for bodies without interior labels, so binding
+                // the head labels up front covers every label here.
+                if let Some(ids) = labels_at.get(&i) {
+                    for id in ids {
+                        b.bind(label_map[id]);
+                    }
+                }
+                let new_head = b.here();
+                let body_len = plan.routes.len() + plan.removal.len();
+                let kept: Vec<usize> = (i..i + body_len).filter(|g| !deleted.contains(g)).collect();
+                for &k in &plan.order {
+                    b.raw(remap(&program.instrs[kept[k]]));
+                }
+                // Only boundary positions are consumed downstream (loop
+                // metadata remap): the head maps to the first emitted
+                // position, the back edge to the last.
+                old_to_new[i..i + body_len].fill(new_head);
+                old_to_new[i + body_len - 1] = new_head + kept.len() - 1;
+                i += body_len;
+                continue;
+            }
         }
         if let Some(ids) = labels_at.get(&i) {
             for id in ids {
                 b.bind(label_map[id]);
             }
         }
-        old_to_new.push(b.here());
-        if deleted.contains(&i) {
-            continue;
+        old_to_new[i] = b.here();
+        if !deleted.contains(&i) {
+            b.raw(remap(&program.instrs[i]));
         }
-        // Remap branch targets.
-        let remapped = match ins.branch_target() {
-            Some(t) => {
-                let nt = label_map[&t.0];
-                match ins {
-                    subword_isa::Instr::Jmp { .. } => subword_isa::Instr::Jmp { target: nt },
-                    subword_isa::Instr::Jcc { cond, .. } => {
-                        subword_isa::Instr::Jcc { cond: *cond, target: nt }
-                    }
-                    _ => unreachable!(),
-                }
-            }
-            None => *ins,
-        };
-        b.raw(remapped);
+        i += 1;
     }
     // Labels bound at the very end.
     if let Some(ids) = labels_at.get(&program.instrs.len()) {
@@ -76,7 +128,7 @@ pub(crate) fn rewrite(program: &Program, plans: &[LoopPlan]) -> Result<(Program,
             b.bind(label_map[id]);
         }
     }
-    old_to_new.push(b.here());
+    old_to_new[program.instrs.len()] = b.here();
 
     let mut out = b.finish_unchecked();
     // Remap loop metadata (back edges of transformed loops keep their
@@ -91,5 +143,8 @@ pub(crate) fn rewrite(program: &Program, plans: &[LoopPlan]) -> Result<(Program,
         })
         .collect();
     out.validate().map_err(|e| e.to_string())?;
-    Ok((out, setup))
+
+    let frozen_bodies =
+        plans.iter().map(|p| (old_to_new[p.head], old_to_new[p.head] + p.routes.len())).collect();
+    Ok(Rewritten { program: out, setup_instructions: setup, frozen_bodies })
 }

@@ -108,6 +108,14 @@ impl Program {
         self.label_pos.len()
     }
 
+    /// The instruction index a label is bound to, or `None` for an
+    /// unbound label. Unlike [`Program::resolve`], this never panics —
+    /// passes that walk *all* labels (e.g. the scheduler's region
+    /// partitioning) use it to treat every bound position as a boundary.
+    pub fn label_position(&self, l: Label) -> Option<usize> {
+        self.label_pos.get(l.0 as usize).copied().flatten()
+    }
+
     /// Look up a bound label by name.
     pub fn find_label(&self, name: &str) -> Option<Label> {
         self.label_names.iter().position(|n| n == name).map(|i| Label(i as u32))

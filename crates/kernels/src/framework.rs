@@ -9,7 +9,7 @@
 //! prologues and cold-predictor effects.
 
 use crate::paper::PaperRow;
-use subword_compile::{lift_permutes, CompileReport, TestSetup, TransformResult};
+use subword_compile::{lift_permutes, schedule_program, CompileReport, TestSetup, TransformResult};
 use subword_isa::program::Program;
 use subword_sim::{Machine, MachineConfig, SimStats};
 use subword_spu::crossbar::CrossbarShape;
@@ -108,6 +108,16 @@ impl HostNanos {
 }
 
 /// A complete paper-methodology measurement of one kernel.
+///
+/// Under the sweep layer (scheduled measurement on, the default there)
+/// every variant is measured twice: as built (the paper-faithful
+/// unscheduled numbers in [`Measurement::baseline`]/[`Measurement::spu`])
+/// and after the pairing-aware list scheduler reordered it
+/// ([`Measurement::sched_baseline`]/[`Measurement::sched_spu`]) — the
+/// scheduled-vs-unscheduled delta is the orchestration signal the sweep
+/// reports per kernel. The one-off probes ([`measure`] and friends)
+/// skip the scheduled runs; their `sched_*` fields mirror the
+/// unscheduled ones.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     /// Kernel name.
@@ -116,14 +126,25 @@ pub struct Measurement {
     pub baseline: VariantStats,
     /// MMX+SPU variant.
     pub spu: VariantStats,
+    /// MMX-only variant, list-scheduled for dual-issue.
+    pub sched_baseline: VariantStats,
+    /// MMX+SPU variant, list-scheduled (loop bodies reordered with their
+    /// SPU routes permuted in lockstep).
+    pub sched_spu: VariantStats,
+    /// Static instructions the scheduler moved (baseline, SPU variant),
+    /// at the large block count.
+    pub sched_moved: (u64, u64),
     /// The lifting pass's report.
     pub report: CompileReport,
     /// Block counts used (small, large).
     pub blocks: (u64, u64),
-    /// Host wall-clock spent inside the four simulator runs (baseline
-    /// and SPU at both block counts) — the interpreter-throughput signal.
+    /// Host wall-clock spent inside the measurement's simulator runs —
+    /// eight (baseline, SPU, and their scheduled forms, at both block
+    /// counts), or four when scheduled measurement is disabled
+    /// ([`measure_with_config_opts`]) — the interpreter-throughput
+    /// signal.
     pub wall_nanos: HostNanos,
-    /// Dynamic instructions those four runs retired (deterministic, so it
+    /// Dynamic instructions those runs retired (deterministic, so it
     /// participates in equality).
     pub sim_instructions: u64,
 }
@@ -210,6 +231,12 @@ impl Measurement {
             baseline_total: self.baseline.total,
             spu_per_block: self.spu.per_block,
             spu_total: self.spu.total,
+            sched_baseline_per_block: self.sched_baseline.per_block,
+            sched_baseline_total: self.sched_baseline.total,
+            sched_spu_per_block: self.sched_spu.per_block,
+            sched_spu_total: self.sched_spu.total,
+            sched_moved_baseline: self.sched_moved.0,
+            sched_moved_spu: self.sched_moved.1,
             removed_static: self.report.removed_static as u64,
             setup_instructions: self.report.setup_instructions as u64,
             candidates: self.report.candidates() as u64,
@@ -246,6 +273,18 @@ pub struct MeasurementRecord {
     pub spu_per_block: SimStats,
     /// MMX+SPU whole-run counters at the larger block count.
     pub spu_total: SimStats,
+    /// List-scheduled MMX-only steady-state per-block counters.
+    pub sched_baseline_per_block: SimStats,
+    /// List-scheduled MMX-only whole-run counters.
+    pub sched_baseline_total: SimStats,
+    /// List-scheduled MMX+SPU steady-state per-block counters.
+    pub sched_spu_per_block: SimStats,
+    /// List-scheduled MMX+SPU whole-run counters.
+    pub sched_spu_total: SimStats,
+    /// Static instructions the scheduler moved in the MMX-only variant.
+    pub sched_moved_baseline: u64,
+    /// Static instructions the scheduler moved in the MMX+SPU variant.
+    pub sched_moved_spu: u64,
     /// Static realignment instructions the pass removed.
     pub removed_static: u64,
     /// Instructions the pass added (MMIO prologue + GO stores).
@@ -288,76 +327,31 @@ impl MeasurementRecord {
     }
 
     /// Host-side simulator throughput: simulated instructions retired per
-    /// wall-clock second across this measurement's four runs.
+    /// wall-clock second across this measurement's runs.
     pub fn sim_ips(&self) -> f64 {
         self.wall_nanos.per_second(self.sim_instructions)
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use subword_sim::SimStats;
-
-    fn meas(base: SimStats, spu: SimStats) -> Measurement {
-        Measurement {
-            name: "synthetic",
-            baseline: VariantStats { per_block: base, total: base },
-            spu: VariantStats { per_block: spu, total: spu },
-            report: CompileReport {
-                name: "synthetic".into(),
-                loops: vec![],
-                removed_static: 0,
-                setup_instructions: 0,
-            },
-            blocks: (1, 2),
-            wall_nanos: HostNanos(0),
-            sim_instructions: 0,
-        }
+    /// Per-block cycles the list scheduler saved on the MMX-only
+    /// variant (positive = scheduled is faster).
+    pub fn sched_baseline_cycles_saved(&self) -> i64 {
+        self.baseline_per_block.cycles as i64 - self.sched_baseline_per_block.cycles as i64
     }
 
-    #[test]
-    fn host_nanos_is_equality_exempt_but_still_measures() {
-        assert_eq!(HostNanos(1), HostNanos(2));
-        assert_eq!(HostNanos(500_000_000).per_second(1_000_000), 2_000_000.0);
-        assert_eq!(HostNanos(0).per_second(5), f64::INFINITY);
+    /// Per-block cycles the list scheduler saved on the MMX+SPU variant.
+    pub fn sched_spu_cycles_saved(&self) -> i64 {
+        self.spu_per_block.cycles as i64 - self.sched_spu_per_block.cycles as i64
     }
 
-    #[test]
-    fn measurement_ratios() {
-        let base = SimStats {
-            cycles: 1000,
-            instructions: 1600,
-            mmx_instructions: 800,
-            mmx_realignments: 200,
-            ..Default::default()
-        };
-        let spu = SimStats {
-            cycles: 850,
-            instructions: 1450,
-            mmx_instructions: 650,
-            mmx_realignments: 50,
-            ..Default::default()
-        };
-        let m = meas(base, spu);
-        assert_eq!(m.offloaded_per_block(), 150);
-        assert!((m.speedup() - 1000.0 / 850.0).abs() < 1e-12);
-        assert!((m.pct_cycles_saved() - 15.0).abs() < 1e-9);
-        // Table 3 shares use the *baseline* populations.
-        assert!((m.pct_mmx_instr() - 100.0 * 150.0 / 800.0).abs() < 1e-9);
-        assert!((m.pct_total_instr() - 100.0 * 150.0 / 1600.0).abs() < 1e-9);
-        // Paper scaling produces the published clock magnitude.
-        let row = crate::paper::paper_row("DCT").unwrap();
-        let scale = m.paper_scale(row);
-        assert!((1000.0 * scale - row.clocks).abs() / row.clocks < 1e-12);
+    /// Issued-pair-rate gain from scheduling the MMX-only variant
+    /// (fraction of issue slots that dual-issue, scheduled − unscheduled).
+    pub fn sched_baseline_pair_rate_gain(&self) -> f64 {
+        self.sched_baseline_per_block.pair_rate() - self.baseline_per_block.pair_rate()
     }
 
-    #[test]
-    fn measurement_handles_zero_denominators() {
-        let m = meas(SimStats::default(), SimStats::default());
-        assert_eq!(m.offloaded_per_block(), 0);
-        assert_eq!(m.pct_mmx_instr(), 0.0);
-        assert_eq!(m.pct_total_instr(), 0.0);
+    /// Issued-pair-rate gain from scheduling the MMX+SPU variant.
+    pub fn sched_spu_pair_rate_gain(&self) -> f64 {
+        self.sched_spu_per_block.pair_rate() - self.spu_per_block.pair_rate()
     }
 }
 
@@ -418,7 +412,13 @@ pub fn measure_with(
 /// [`measure_with`] on a non-default machine: `base` supplies the
 /// micro-architectural parameters (multiplier latencies, BTB, mispredict
 /// penalty, …) for *both* variants; the SPU flag and crossbar are
-/// overridden per variant. This is what parameter-sensitivity sweeps use.
+/// overridden per variant.
+///
+/// Like the other one-off probes ([`measure`], [`measure_with`]) this
+/// runs the paper-faithful four simulations only; the `sched_*` fields
+/// mirror the unscheduled ones. Scheduled measurement — on by default
+/// in the sweep layer — is opted into via
+/// [`measure_with_config_opts`].
 pub fn measure_with_config(
     kernel: &dyn Kernel,
     blocks_small: u64,
@@ -427,6 +427,29 @@ pub fn measure_with_config(
     base: &MachineConfig,
     lift: LiftFn<'_>,
 ) -> Result<Measurement, String> {
+    measure_with_config_opts(kernel, blocks_small, blocks_large, shape, base, lift, false)
+}
+
+/// [`measure_with_config`] with the scheduled measurements optional —
+/// the full entry point the sweep layer drives. With
+/// `measure_scheduled` set, the list-scheduled form of both variants is
+/// simulated too (eight runs per measurement); unset, those four runs
+/// are skipped and the `sched_*` fields mirror the unscheduled ones
+/// (zero deltas, zero moved instructions). Keep it unset for
+/// non-default `base` machine parameters: the scheduler's acceptance
+/// cost model replays the *default* latencies, so its never-slower
+/// contract is only asserted on default-config measurements
+/// (DESIGN.md §7).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_with_config_opts(
+    kernel: &dyn Kernel,
+    blocks_small: u64,
+    blocks_large: u64,
+    shape: &CrossbarShape,
+    base: &MachineConfig,
+    lift: LiftFn<'_>,
+    measure_scheduled: bool,
+) -> Result<Measurement, String> {
     assert!(blocks_small < blocks_large);
     let mmx_cfg = MachineConfig { spu_fitted: false, ..base.clone() };
     let spu_cfg = MachineConfig { spu_fitted: true, crossbar: *shape, ..base.clone() };
@@ -434,22 +457,48 @@ pub fn measure_with_config(
     let b_large = kernel.build(blocks_large);
 
     let (base_small, t_bs) = run_checked(&b_small, mmx_cfg.clone(), "baseline/small")?;
-    let (base_large, t_bl) = run_checked(&b_large, mmx_cfg, "baseline/large")?;
+    let (base_large, t_bl) = run_checked(&b_large, mmx_cfg.clone(), "baseline/large")?;
+
+    // The list-scheduled baseline: same program, regions reordered for
+    // dual-issue; golden outputs re-checked on every run.
+    let rebuilt = |program: Program, of: &KernelBuild| KernelBuild {
+        program,
+        setup: of.setup.clone(),
+        expected: of.expected.clone(),
+    };
+    let ((sched_base_small, t_sbs), (sched_base_large, t_sbl), sched_base_moved) =
+        if measure_scheduled {
+            let (sb_prog_small, _) = schedule_program(&b_small.program);
+            let (sb_prog_large, sb_report) = schedule_program(&b_large.program);
+            (
+                run_checked(&rebuilt(sb_prog_small, &b_small), mmx_cfg.clone(), "sched-base/s")?,
+                run_checked(&rebuilt(sb_prog_large, &b_large), mmx_cfg, "sched-base/l")?,
+                sb_report.moved as u64,
+            )
+        } else {
+            ((base_small, 0), (base_large, 0), 0)
+        };
 
     let lifted_small = lift(&b_small.program, shape)?;
     let lifted_large = lift(&b_large.program, shape)?;
-    let spu_build_small = KernelBuild {
-        program: lifted_small.program,
-        setup: b_small.setup.clone(),
-        expected: b_small.expected.clone(),
-    };
-    let spu_build_large = KernelBuild {
-        program: lifted_large.program,
-        setup: b_large.setup.clone(),
-        expected: b_large.expected.clone(),
-    };
+    let spu_build_small = rebuilt(lifted_small.program, &b_small);
+    let spu_build_large = rebuilt(lifted_large.program, &b_large);
     let (spu_small, t_ss) = run_checked(&spu_build_small, spu_cfg.clone(), "spu/small")?;
-    let (spu_large, t_sl) = run_checked(&spu_build_large, spu_cfg, "spu/large")?;
+    let (spu_large, t_sl) = run_checked(&spu_build_large, spu_cfg.clone(), "spu/large")?;
+
+    // The scheduled SPU variant the lifting pass carries alongside the
+    // plain one (loop bodies reordered, SPU routes permuted to match).
+    let ((sched_spu_small, t_xs), (sched_spu_large, t_xl), sched_moved) = if measure_scheduled {
+        let small = rebuilt(lifted_small.scheduled.program, &b_small);
+        let large = rebuilt(lifted_large.scheduled.program, &b_large);
+        (
+            run_checked(&small, spu_cfg.clone(), "sched-spu/small")?,
+            run_checked(&large, spu_cfg, "sched-spu/large")?,
+            (sched_base_moved, lifted_large.scheduled.moved as u64),
+        )
+    } else {
+        ((spu_small, 0), (spu_large, 0), (0, 0))
+    };
 
     let nblocks = blocks_large - blocks_small;
     let scale = |s: SimStats| {
@@ -468,6 +517,7 @@ pub fn measure_with_config(
         d.imul_block_cycles /= nblocks;
         d.pairs /= nblocks;
         d.singles /= nblocks;
+        d.mmx_pairs /= nblocks;
         d.mmx_active_cycles /= nblocks;
         d.loads /= nblocks;
         d.stores /= nblocks;
@@ -482,12 +532,118 @@ pub fn measure_with_config(
         name: kernel.name(),
         baseline: VariantStats { per_block: scale(base_large - base_small), total: base_large },
         spu: VariantStats { per_block: scale(spu_large - spu_small), total: spu_large },
+        sched_baseline: VariantStats {
+            per_block: scale(sched_base_large - sched_base_small),
+            total: sched_base_large,
+        },
+        sched_spu: VariantStats {
+            per_block: scale(sched_spu_large - sched_spu_small),
+            total: sched_spu_large,
+        },
+        sched_moved,
         report: lifted_large.report,
         blocks: (blocks_small, blocks_large),
-        wall_nanos: HostNanos(t_bs + t_bl + t_ss + t_sl),
-        sim_instructions: base_small.instructions
-            + base_large.instructions
-            + spu_small.instructions
-            + spu_large.instructions,
+        wall_nanos: HostNanos(t_bs + t_bl + t_sbs + t_sbl + t_ss + t_sl + t_xs + t_xl),
+        sim_instructions: {
+            let mut n = base_small.instructions
+                + base_large.instructions
+                + spu_small.instructions
+                + spu_large.instructions;
+            if measure_scheduled {
+                n += sched_base_small.instructions
+                    + sched_base_large.instructions
+                    + sched_spu_small.instructions
+                    + sched_spu_large.instructions;
+            }
+            n
+        },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_sim::SimStats;
+
+    fn meas(base: SimStats, spu: SimStats) -> Measurement {
+        Measurement {
+            name: "synthetic",
+            baseline: VariantStats { per_block: base, total: base },
+            spu: VariantStats { per_block: spu, total: spu },
+            sched_baseline: VariantStats { per_block: base, total: base },
+            sched_spu: VariantStats { per_block: spu, total: spu },
+            sched_moved: (0, 0),
+            report: CompileReport {
+                name: "synthetic".into(),
+                loops: vec![],
+                removed_static: 0,
+                setup_instructions: 0,
+            },
+            blocks: (1, 2),
+            wall_nanos: HostNanos(0),
+            sim_instructions: 0,
+        }
+    }
+
+    #[test]
+    fn host_nanos_is_equality_exempt_but_still_measures() {
+        assert_eq!(HostNanos(1), HostNanos(2));
+        assert_eq!(HostNanos(500_000_000).per_second(1_000_000), 2_000_000.0);
+        assert_eq!(HostNanos(0).per_second(5), f64::INFINITY);
+    }
+
+    #[test]
+    fn measurement_ratios() {
+        let base = SimStats {
+            cycles: 1000,
+            instructions: 1600,
+            mmx_instructions: 800,
+            mmx_realignments: 200,
+            ..Default::default()
+        };
+        let spu = SimStats {
+            cycles: 850,
+            instructions: 1450,
+            mmx_instructions: 650,
+            mmx_realignments: 50,
+            ..Default::default()
+        };
+        let m = meas(base, spu);
+        assert_eq!(m.offloaded_per_block(), 150);
+        assert!((m.speedup() - 1000.0 / 850.0).abs() < 1e-12);
+        assert!((m.pct_cycles_saved() - 15.0).abs() < 1e-9);
+        // Table 3 shares use the *baseline* populations.
+        assert!((m.pct_mmx_instr() - 100.0 * 150.0 / 800.0).abs() < 1e-9);
+        assert!((m.pct_total_instr() - 100.0 * 150.0 / 1600.0).abs() < 1e-9);
+        // Paper scaling produces the published clock magnitude.
+        let row = crate::paper::paper_row("DCT").unwrap();
+        let scale = m.paper_scale(row);
+        assert!((1000.0 * scale - row.clocks).abs() / row.clocks < 1e-12);
+    }
+
+    #[test]
+    fn measurement_handles_zero_denominators() {
+        let m = meas(SimStats::default(), SimStats::default());
+        assert_eq!(m.offloaded_per_block(), 0);
+        assert_eq!(m.pct_mmx_instr(), 0.0);
+        assert_eq!(m.pct_total_instr(), 0.0);
+    }
+
+    #[test]
+    fn sched_deltas_read_scheduled_minus_unscheduled() {
+        let mut m = meas(
+            SimStats { cycles: 1000, pairs: 100, singles: 300, ..Default::default() },
+            SimStats { cycles: 800, pairs: 100, singles: 200, ..Default::default() },
+        );
+        m.sched_baseline.per_block =
+            SimStats { cycles: 900, pairs: 150, singles: 200, ..Default::default() };
+        m.sched_spu.per_block =
+            SimStats { cycles: 750, pairs: 130, singles: 140, ..Default::default() };
+        let r = m.record();
+        assert_eq!(r.sched_baseline_cycles_saved(), 100);
+        assert_eq!(r.sched_spu_cycles_saved(), 50);
+        // Pair rate: 150/350 vs 100/400.
+        assert!((r.sched_baseline_pair_rate_gain() - (150.0 / 350.0 - 0.25)).abs() < 1e-12);
+        assert!(r.sched_spu_pair_rate_gain() > 0.0);
+    }
 }

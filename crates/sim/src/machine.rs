@@ -305,20 +305,17 @@ impl Machine {
             let routing0 = self.take_routing();
             debug_assert_eq!(routing0, r0);
             let eff0 = self.exec(program, i0, &routing0, pc0)?;
-            let mut mmx_in_slot;
-            let routable0;
-            match engine {
+            let (u_mmx, routable0) = match engine {
                 HazardEngine::Decoded => {
                     self.account(d0.flags);
-                    mmx_in_slot = d0.flags.is_mmx();
-                    routable0 = d0.routable;
+                    (d0.flags.is_mmx(), d0.routable)
                 }
                 HazardEngine::Reference => {
                     self.account_ref(i0);
-                    mmx_in_slot = i0.is_mmx();
-                    routable0 = i0.spu_routable();
+                    (i0.is_mmx(), i0.spu_routable())
                 }
-            }
+            };
+            let mut mmx_in_slot = u_mmx;
             let trace_u = crate::trace::TraceEntry {
                 pc: pc0,
                 instr: *i0,
@@ -330,24 +327,25 @@ impl Machine {
             // An SPU control-register change (GO/clear/context switch)
             // serialises the slot: cancel the pairing.
             let mut slot1: Option<(usize, ExecEffect)> = None;
+            let mut v_mmx = false;
             if let Some((i1, d1)) = pair_candidate {
                 if self.spu_signature() == spu_live_before {
                     let pc1 = pc;
                     let routing1 = self.take_routing();
                     let eff1 = self.exec(program, &i1, &routing1, pc1)?;
-                    let routable1;
-                    match engine {
+                    let routable1 = match engine {
                         HazardEngine::Decoded => {
                             self.account(d1.flags);
-                            mmx_in_slot |= d1.flags.is_mmx();
-                            routable1 = d1.routable;
+                            v_mmx = d1.flags.is_mmx();
+                            d1.routable
                         }
                         HazardEngine::Reference => {
                             self.account_ref(&i1);
-                            mmx_in_slot |= i1.is_mmx();
-                            routable1 = i1.spu_routable();
+                            v_mmx = i1.is_mmx();
+                            i1.spu_routable()
                         }
-                    }
+                    };
+                    mmx_in_slot |= v_mmx;
                     trace_v = Some(crate::trace::TraceEntry {
                         pc: pc1,
                         instr: i1,
@@ -359,6 +357,9 @@ impl Machine {
             }
             if slot1.is_some() {
                 self.stats.pairs += 1;
+                if u_mmx && v_mmx {
+                    self.stats.mmx_pairs += 1;
+                }
             } else {
                 self.stats.singles += 1;
             }

@@ -29,7 +29,7 @@ use subword_bench::json::Json;
 use subword_compile::lift_permutes;
 use subword_isa::program::Program;
 use subword_kernels::framework::KernelBuild;
-use subword_kernels::suite::{dotprod_example, paper_suite};
+use subword_kernels::suite::{all_suites, dotprod_example};
 use subword_sim::{Machine, MachineConfig, SimStats};
 use subword_spu::SHAPE_D;
 
@@ -104,7 +104,7 @@ fn bench_build(
 }
 
 fn suite_rows() -> Vec<Row> {
-    let mut entries = paper_suite();
+    let mut entries = all_suites();
     entries.push(dotprod_example());
     let mut rows = Vec::new();
     for e in &entries {

@@ -1,0 +1,279 @@
+//! The committed per-kernel *simulated-cycles* baseline
+//! (`BENCH_cycles.json`) and its gating comparison.
+//!
+//! Wall-clock throughput is noisy on shared CI runners, so the
+//! throughput step stays informational — but scheduled per-block
+//! *simulated* cycles are bit-deterministic: the same tree produces the
+//! same numbers on every machine, every run. That makes them gateable.
+//! CI runs `sweep --check-baseline BENCH_cycles.json <report.json>`
+//! against the job's own sweep artifact and **fails** on any cycle
+//! regression or coverage change; `sweep --write-baseline` regenerates
+//! the file when a change legitimately moves the numbers (commit the
+//! diff — it *is* the review artifact).
+//!
+//! A baseline row pins all four per-block cycle counts of one
+//! (kernel, shape, scale) cell: unscheduled and scheduled, MMX-only and
+//! MMX+SPU. Coverage is compared exactly in both directions — a kernel
+//! missing from the report is a lost benchmark, a kernel missing from
+//! the baseline is an ungated one; both fail the check.
+
+use crate::json::Json;
+use crate::sweep::SweepReport;
+use std::fmt::Write as _;
+
+/// Schema tag of the committed baseline document.
+const SCHEMA: &str = "subword-cycles/v1";
+
+/// One gated cell: the deterministic per-block cycle counts of a
+/// (kernel, shape, scale) measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleCell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Kernel family name (informational; lets reviewers slice diffs).
+    pub family: String,
+    /// Crossbar shape name.
+    pub shape: String,
+    /// Block-count scale.
+    pub scale: u64,
+    /// Unscheduled MMX-only per-block cycles.
+    pub baseline: u64,
+    /// Unscheduled MMX+SPU per-block cycles.
+    pub spu: u64,
+    /// List-scheduled MMX-only per-block cycles.
+    pub sched_baseline: u64,
+    /// List-scheduled MMX+SPU per-block cycles.
+    pub sched_spu: u64,
+}
+
+impl CycleCell {
+    fn key(&self) -> (&str, &str, u64) {
+        (&self.kernel, &self.shape, self.scale)
+    }
+
+    fn counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("baseline", self.baseline),
+            ("spu", self.spu),
+            ("sched_baseline", self.sched_baseline),
+            ("sched_spu", self.sched_spu),
+        ]
+    }
+}
+
+/// The whole baseline document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CyclesBaseline {
+    /// One row per swept (kernel, shape, scale) cell, in report order.
+    pub cells: Vec<CycleCell>,
+}
+
+/// Outcome of a passing [`CyclesBaseline::check`]: cells that *improved*
+/// (got cheaper), worth refreshing the baseline for.
+#[derive(Clone, Debug, Default)]
+pub struct CheckSummary {
+    /// Human-readable improvement notes (empty = bit-identical).
+    pub improvements: Vec<String>,
+    /// Cells compared.
+    pub cells: usize,
+}
+
+impl CyclesBaseline {
+    /// Extract the gated cycle counts from a sweep report.
+    pub fn from_report(report: &SweepReport) -> CyclesBaseline {
+        CyclesBaseline {
+            cells: report
+                .cells
+                .iter()
+                .map(|c| CycleCell {
+                    kernel: c.record.kernel.clone(),
+                    family: c.record.family.name().to_string(),
+                    shape: c.shape.clone(),
+                    scale: c.scale,
+                    baseline: c.record.baseline_per_block.cycles,
+                    spu: c.record.spu_per_block.cycles,
+                    sched_baseline: c.record.sched_baseline_per_block.cycles,
+                    sched_spu: c.record.sched_spu_per_block.cycles,
+                })
+                .collect(),
+        }
+    }
+
+    /// Compare a report against this committed baseline. `Err` on any
+    /// cycle regression (current > baseline) or coverage mismatch in
+    /// either direction; `Ok` carries the improvement notes.
+    pub fn check(&self, report: &SweepReport) -> Result<CheckSummary, String> {
+        let current = CyclesBaseline::from_report(report);
+        let mut errors = Vec::new();
+        let mut summary = CheckSummary { cells: self.cells.len(), ..Default::default() };
+        for base in &self.cells {
+            let Some(cur) = current.cells.iter().find(|c| c.key() == base.key()) else {
+                errors.push(format!(
+                    "{}/shape {}/scale {}: in baseline but not in report (lost coverage)",
+                    base.kernel, base.shape, base.scale
+                ));
+                continue;
+            };
+            for ((name, was), (_, now)) in base.counters().into_iter().zip(cur.counters()) {
+                match now.cmp(&was) {
+                    std::cmp::Ordering::Greater => errors.push(format!(
+                        "{}/shape {}/scale {}: {name} per-block cycles regressed {was} -> {now} \
+                         (+{:.2}%)",
+                        base.kernel,
+                        base.shape,
+                        base.scale,
+                        100.0 * (now - was) as f64 / was.max(1) as f64
+                    )),
+                    std::cmp::Ordering::Less => summary.improvements.push(format!(
+                        "{}/shape {}/scale {}: {name} improved {was} -> {now} (-{:.2}%)",
+                        base.kernel,
+                        base.shape,
+                        base.scale,
+                        100.0 * (was - now) as f64 / was.max(1) as f64
+                    )),
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+        }
+        for cur in &current.cells {
+            if !self.cells.iter().any(|b| b.key() == cur.key()) {
+                errors.push(format!(
+                    "{}/shape {}/scale {}: in report but not in baseline (ungated cell — \
+                     regenerate with `sweep --write-baseline`)",
+                    cur.kernel, cur.shape, cur.scale
+                ));
+            }
+        }
+        if errors.is_empty() {
+            return Ok(summary);
+        }
+        let mut msg = format!("{} baseline violation(s):", errors.len());
+        for e in &errors {
+            let _ = write!(msg, "\n  {e}");
+        }
+        Err(msg)
+    }
+
+    /// Serialize to pretty-printed JSON (stable field order, so the
+    /// committed file diffs cleanly).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("kernel".into(), Json::Str(c.kernel.clone())),
+                                ("family".into(), Json::Str(c.family.clone())),
+                                ("shape".into(), Json::Str(c.shape.clone())),
+                                ("scale".into(), Json::UInt(c.scale)),
+                                ("baseline".into(), Json::UInt(c.baseline)),
+                                ("spu".into(), Json::UInt(c.spu)),
+                                ("sched_baseline".into(), Json::UInt(c.sched_baseline)),
+                                ("sched_spu".into(), Json::UInt(c.sched_spu)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parse a committed baseline document.
+    pub fn from_json(text: &str) -> Result<CyclesBaseline, String> {
+        let root = Json::parse(text)?;
+        let schema = root.field("schema")?.as_str()?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported cycles-baseline schema `{schema}`"));
+        }
+        Ok(CyclesBaseline {
+            cells: root
+                .field("cells")?
+                .as_arr()?
+                .iter()
+                .map(|c| {
+                    Ok(CycleCell {
+                        kernel: c.field("kernel")?.as_str()?.to_string(),
+                        family: c.field("family")?.as_str()?.to_string(),
+                        shape: c.field("shape")?.as_str()?.to_string(),
+                        scale: c.field("scale")?.as_u64()?,
+                        baseline: c.field("baseline")?.as_u64()?,
+                        spu: c.field("spu")?.as_u64()?,
+                        sched_baseline: c.field("sched_baseline")?.as_u64()?,
+                        sched_spu: c.field("sched_spu")?.as_u64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use subword_spu::SHAPE_A;
+
+    fn small_report() -> SweepReport {
+        let mut cfg = SweepConfig::pixel(&[SHAPE_A]);
+        cfg.entries.truncate(2); // SAD + YUV
+        run_sweep(&cfg).unwrap().report
+    }
+
+    #[test]
+    fn baseline_round_trips_and_self_checks() {
+        let report = small_report();
+        let base = CyclesBaseline::from_report(&report);
+        let parsed = CyclesBaseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        // A report checks clean against its own baseline, with zero
+        // improvement notes (bit-identical numbers).
+        let summary = parsed.check(&report).unwrap();
+        assert_eq!(summary.cells, report.cells.len());
+        assert!(summary.improvements.is_empty());
+        // Corrupt documents are rejected.
+        assert!(CyclesBaseline::from_json("{}").is_err());
+        assert!(CyclesBaseline::from_json(&base.to_json().replace("/v1", "/v0")).is_err());
+    }
+
+    #[test]
+    fn regressions_and_coverage_changes_fail_improvements_pass() {
+        let report = small_report();
+        let mut base = CyclesBaseline::from_report(&report);
+
+        // Current slower than baseline: hard error naming the counter.
+        base.cells[0].sched_spu -= 1;
+        let err = base.check(&report).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("sched_spu"), "{err}");
+
+        // Current faster than baseline: passes, but notes the improvement.
+        base.cells[0].sched_spu += 2;
+        let summary = base.check(&report).unwrap();
+        assert_eq!(summary.improvements.len(), 1);
+        assert!(summary.improvements[0].contains("improved"));
+
+        // A cell only in the baseline = lost coverage.
+        let mut missing = CyclesBaseline::from_report(&report);
+        missing.cells.push(CycleCell {
+            kernel: "Ghost".into(),
+            family: "pixel".into(),
+            shape: "A".into(),
+            scale: 1,
+            baseline: 1,
+            spu: 1,
+            sched_baseline: 1,
+            sched_spu: 1,
+        });
+        assert!(missing.check(&report).unwrap_err().contains("lost coverage"));
+
+        // A cell only in the report = ungated.
+        let mut ungated = CyclesBaseline::from_report(&report);
+        ungated.cells.pop();
+        assert!(ungated.check(&report).unwrap_err().contains("not in baseline"));
+    }
+}

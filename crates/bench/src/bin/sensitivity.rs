@@ -4,27 +4,29 @@
 //! mispredict penalty/predictor, and reports the SPU's cycle savings on a
 //! representative kernel triplet under each.
 //!
-//! Each parameter setting is one small [`run_sweep`] pass (three kernels,
-//! shape A, custom [`MachineConfig`]) — the measurement loop, golden
+//! Each parameter setting is one small [`run_sweep_with_cache`] pass
+//! (three kernels, shape A, custom [`MachineConfig`]) — the
+//! measurement loop, golden
 //! output checking and compile caching all come from the shared sweep
 //! layer instead of a private harness.
 
 use subword_bench::sweep::{run_sweep_with_cache, CompileCache, SweepConfig};
 use subword_bench::Table;
-use subword_kernels::suite::paper_suite;
 use subword_sim::MachineConfig;
 use subword_spu::SHAPE_A;
+
+/// The representative triplet: FIR12 (intra-word), DCT (mixed),
+/// Transpose (inter-word) — selected from the paper family by name, so
+/// suite reordering cannot silently change what this study measures.
+const PICKS: [&str; 3] = ["FIR12", "DCT", "Matrix Transpose"];
 
 /// Cycle savings (%) for the three picked kernels under `cfg`. The
 /// shared cache keeps compilation (machine-config independent) to one
 /// analysis per kernel across every parameter setting.
 fn saved_pcts(base: &MachineConfig, cache: &CompileCache) -> Vec<f64> {
-    let suite = paper_suite();
-    // FIR12 (intra-word), DCT (mixed), Transpose (inter-word).
-    let picks = [0usize, 5, 7];
     let mut cfg = SweepConfig::paper(&[SHAPE_A]);
-    cfg.entries =
-        suite.into_iter().enumerate().filter(|(i, _)| picks.contains(i)).map(|(_, e)| e).collect();
+    cfg.entries.retain(|e| PICKS.contains(&e.kernel.name()));
+    cfg.entries.sort_by_key(|e| PICKS.iter().position(|p| *p == e.kernel.name()));
     cfg.base = base.clone();
     // This study sweeps non-default machine parameters, where the
     // scheduler's default-latency cost model makes no never-slower

@@ -1,19 +1,31 @@
-//! Runs the full kernel × crossbar-shape job matrix — all nine kernels
-//! (Figure 9's eight plus the Figure 5 dot-product) under each Table 1
-//! shape A–D — in one parallel pass, and emits the resulting
-//! [`SweepReport`] as JSON on stdout (progress, the cache summary and
-//! the scheduling report go to stderr).
+//! Runs the kernel × crossbar-shape job matrix — by default every
+//! family (Figure 9's eight signal kernels, the four pixel/video
+//! kernels, plus the Figure 5 dot-product) under each Table 1 shape A–D
+//! — in one parallel pass, and emits the resulting [`SweepReport`] as
+//! JSON on stdout (progress, the cache summary and the scheduling
+//! report go to stderr).
 //!
 //! ```text
-//! cargo run --release -p subword-bench --bin sweep            # JSON to stdout
+//! cargo run --release -p subword-bench --bin sweep                  # JSON to stdout
 //! cargo run --release -p subword-bench --bin sweep -- out.json
+//! cargo run --release -p subword-bench --bin sweep -- --family pixel out.json
 //! cargo run --release -p subword-bench --bin sweep -- --table out.json
+//! cargo run --release -p subword-bench --bin sweep -- --check-baseline BENCH_cycles.json out.json
+//! cargo run --release -p subword-bench --bin sweep -- --write-baseline BENCH_cycles.json out.json
 //! ```
 //!
-//! `--table` re-prints the per-kernel scheduling report (cycles and
-//! issued-pair rate, scheduled vs. unscheduled, per variant) from an
-//! existing report file without re-running the sweep — the CI
+//! `--family paper|pixel|all` restricts the sweep to one kernel family
+//! (default `all`). `--table` re-prints the per-kernel scheduling report
+//! (cycles and issued-pair rate, scheduled vs. unscheduled, per variant)
+//! from an existing report file without re-running the sweep — the CI
 //! scheduling-report step uses it on the job's own sweep artifact.
+//!
+//! `--check-baseline` compares an existing report's deterministic
+//! per-block simulated cycles against the committed `BENCH_cycles.json`
+//! and exits non-zero on any regression or coverage change — the gating
+//! CI step (wall-clock MIPS stays informational; simulated cycles are
+//! bit-deterministic). `--write-baseline` regenerates that file from a
+//! report.
 //!
 //! The process asserts the sweep's invariants before emitting anything:
 //!
@@ -23,19 +35,22 @@
 //! * the list scheduler never *costs* cycles: on every cell, both the
 //!   scheduled MMX-only and scheduled MMX+SPU variants finish in at
 //!   most the unscheduled cycle count;
-//! * scheduling pays somewhere: at least half the Figure 9 suite
-//!   kernels dual-issue at a strictly higher rate once scheduled.
+//! * scheduling pays somewhere: at least half the swept kernels
+//!   dual-issue at a strictly higher rate once scheduled.
 
+use subword_bench::baseline::CyclesBaseline;
 use subword_bench::sweep::{run_sweep, SweepConfig, SweepReport};
 use subword_bench::Table;
+use subword_kernels::suite::Family;
+use subword_spu::crossbar::CANONICAL_SHAPES;
 
 /// The per-kernel scheduling report: cycles and issued-pair rate,
 /// scheduled vs. unscheduled, for both variants of every cell at the
 /// report's first block scale.
 fn sched_table(report: &SweepReport) -> String {
     let mut t = Table::new(&[
-        "kernel", "shape", "mmx cyc", "sched", "d%", "pair%", "sched%", "spu cyc", "sched", "d%",
-        "pair%", "sched%", "moved",
+        "kernel", "family", "shape", "mmx cyc", "sched", "d%", "pair%", "sched%", "spu cyc",
+        "sched", "d%", "pair%", "sched%", "moved",
     ]);
     let pct = |v: f64| format!("{:.1}", 100.0 * v);
     let delta = |unsched: u64, sched: u64| {
@@ -46,6 +61,7 @@ fn sched_table(report: &SweepReport) -> String {
         let r = &c.record;
         t.row(vec![
             r.kernel.clone(),
+            r.family.name().to_string(),
             c.shape.clone(),
             r.baseline_per_block.cycles.to_string(),
             r.sched_baseline_per_block.cycles.to_string(),
@@ -63,23 +79,48 @@ fn sched_table(report: &SweepReport) -> String {
     t.render()
 }
 
+fn load_report(path: &str) -> SweepReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: read {path}: {e}");
+        std::process::exit(1);
+    });
+    SweepReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Match one of the offline modes: `sweep <flag> <a> <b>` with the flag
+/// leading and exactly two operands — anything else (flag buried after
+/// other arguments, missing or extra operands) is a usage error rather
+/// than a silently dropped argument.
+fn arg_after(args: &[String], flag: &str, usage: &str) -> Option<(String, String)> {
+    if !args.iter().any(|a| a == flag) {
+        return None;
+    }
+    match args {
+        [_, f, a, b] if f == flag => Some((a.clone(), b.clone())),
+        _ => {
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
 
     // `--table <file>`: report on an existing sweep artifact and exit.
-    if let Some(i) = args.iter().position(|a| a == "--table") {
-        let path = args.get(i + 1).unwrap_or_else(|| {
+    if args.iter().any(|a| a == "--table") {
+        let [_, f, path] = args.as_slice() else {
             eprintln!("usage: sweep --table <report.json>");
             std::process::exit(2);
-        });
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: read {path}: {e}");
-            std::process::exit(1);
-        });
-        let report = SweepReport::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("error: parse {path}: {e}");
-            std::process::exit(1);
-        });
+        };
+        if f != "--table" {
+            eprintln!("usage: sweep --table <report.json>");
+            std::process::exit(2);
+        }
+        let report = load_report(path);
         println!("scheduling report ({path}):");
         println!("{}", sched_table(&report));
         match report.check_sched_invariants() {
@@ -92,7 +133,104 @@ fn main() {
         return;
     }
 
-    let cfg = SweepConfig::full_matrix();
+    // `--check-baseline <baseline> <report>`: the deterministic cycles
+    // gate over an existing sweep artifact.
+    if let Some((base_path, report_path)) = arg_after(
+        &args,
+        "--check-baseline",
+        "sweep --check-baseline <BENCH_cycles.json> <report.json>",
+    ) {
+        let text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("error: read {base_path}: {e}");
+            std::process::exit(1);
+        });
+        let base = CyclesBaseline::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: parse {base_path}: {e}");
+            std::process::exit(1);
+        });
+        let report = load_report(&report_path);
+        match base.check(&report) {
+            Ok(summary) => {
+                println!(
+                    "cycles baseline ok: {} cells match {base_path} ({} improved)",
+                    summary.cells,
+                    summary.improvements.len()
+                );
+                for note in &summary.improvements {
+                    println!("  note: {note}");
+                }
+                if !summary.improvements.is_empty() {
+                    println!(
+                        "  (baseline is stale on the cheap side — refresh with \
+                         `sweep --write-baseline {base_path} {report_path}`)"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cycle regression against {base_path}:\n{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `--write-baseline <baseline> <report>`: regenerate the committed
+    // cycles file from an existing sweep artifact.
+    if let Some((base_path, report_path)) = arg_after(
+        &args,
+        "--write-baseline",
+        "sweep --write-baseline <BENCH_cycles.json> <report.json>",
+    ) {
+        let report = load_report(&report_path);
+        let base = CyclesBaseline::from_report(&report);
+        std::fs::write(&base_path, base.to_json())
+            .unwrap_or_else(|e| panic!("write {base_path}: {e}"));
+        println!("cycles baseline written to {base_path} ({} cells)", base.cells.len());
+        return;
+    }
+
+    // Remaining modes run a sweep: `[--family <name>] [out.json]`.
+    let mut out_path: Option<String> = None;
+    let mut family: Option<Family> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--family" => {
+                let name = it.next().unwrap_or_else(|| {
+                    eprintln!("usage: sweep --family paper|pixel|all [out.json]");
+                    std::process::exit(2);
+                });
+                if name != "all" {
+                    family = Some(Family::from_name(name).unwrap_or_else(|| {
+                        eprintln!("error: unknown family `{name}` (paper|pixel|all)");
+                        std::process::exit(2);
+                    }));
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag `{other}`");
+                eprintln!(
+                    "usage: sweep [--family paper|pixel|all] [out.json]\n\
+                            sweep --table <report.json>\n\
+                            sweep --check-baseline <BENCH_cycles.json> <report.json>\n\
+                            sweep --write-baseline <BENCH_cycles.json> <report.json>"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                if let Some(prev) = &out_path {
+                    eprintln!("error: two output paths given (`{prev}` and `{other}`)");
+                    std::process::exit(2);
+                }
+                out_path = Some(other.to_string());
+            }
+        }
+    }
+
+    let cfg = match family {
+        Some(f) => SweepConfig::family(f, &CANONICAL_SHAPES),
+        None => SweepConfig::full_matrix(),
+    };
     let kernels = cfg.entries.len();
     let shapes = cfg.shapes.len();
     eprintln!(
@@ -139,9 +277,9 @@ fn main() {
     let parsed = SweepReport::from_json(&json).expect("emitted JSON re-parses");
     assert_eq!(&parsed, report, "JSON round trip must be lossless");
 
-    match args.get(1) {
+    match out_path {
         Some(path) => {
-            std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
             eprintln!("sweep: report written to {path}");
         }
         None => println!("{json}"),

@@ -24,6 +24,7 @@
 //! kernel × crossbar shape × block count with a shared compiled-program
 //! cache. ([`run_entry`] remains as an uncached one-off probe.)
 
+pub mod baseline;
 pub mod json;
 pub mod sweep;
 

@@ -36,7 +36,7 @@ use subword_isa::program::Program;
 use subword_kernels::framework::{
     measure_with_config_opts, HostNanos, Measurement, MeasurementRecord,
 };
-use subword_kernels::suite::{dotprod_example, paper_suite, SuiteEntry};
+use subword_kernels::suite::{all_suites, dotprod_example, family_suite, Family, SuiteEntry};
 use subword_sim::{MachineConfig, SimStats};
 use subword_spu::crossbar::{CrossbarShape, CANONICAL_SHAPES};
 
@@ -66,10 +66,9 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The eight Figure 9 kernels under the given shapes.
-    pub fn paper(shapes: &[CrossbarShape]) -> SweepConfig {
+    fn with_entries(entries: Vec<SuiteEntry>, shapes: &[CrossbarShape]) -> SweepConfig {
         SweepConfig {
-            entries: paper_suite(),
+            entries,
             shapes: shapes.to_vec(),
             block_scales: vec![1],
             base: MachineConfig::default(),
@@ -78,15 +77,32 @@ impl SweepConfig {
         }
     }
 
-    /// All nine kernels (Figure 9 plus the Figure 5 dot-product) under
-    /// the given shapes.
-    pub fn full(shapes: &[CrossbarShape]) -> SweepConfig {
-        let mut cfg = SweepConfig::paper(shapes);
-        cfg.entries.push(dotprod_example());
-        cfg
+    /// One family's suite under the given shapes — the harnesses'
+    /// family-selection entry point (no kernel list is hard-coded
+    /// anywhere in the bench layer).
+    pub fn family(family: Family, shapes: &[CrossbarShape]) -> SweepConfig {
+        SweepConfig::with_entries(family_suite(family), shapes)
     }
 
-    /// The full nine-kernel matrix across the four Table 1 shapes.
+    /// The eight Figure 9 kernels under the given shapes.
+    pub fn paper(shapes: &[CrossbarShape]) -> SweepConfig {
+        SweepConfig::family(Family::Paper, shapes)
+    }
+
+    /// The four pixel/video kernels under the given shapes.
+    pub fn pixel(shapes: &[CrossbarShape]) -> SweepConfig {
+        SweepConfig::family(Family::Pixel, shapes)
+    }
+
+    /// Every family's suite plus the Figure 5 dot-product example under
+    /// the given shapes.
+    pub fn full(shapes: &[CrossbarShape]) -> SweepConfig {
+        let mut entries = all_suites();
+        entries.push(dotprod_example());
+        SweepConfig::with_entries(entries, shapes)
+    }
+
+    /// The full every-kernel matrix across the four Table 1 shapes.
     pub fn full_matrix() -> SweepConfig {
         SweepConfig::full(&CANONICAL_SHAPES)
     }
@@ -487,7 +503,7 @@ impl SweepReport {
 
     fn to_json_value(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("subword-sweep/v3".into())),
+            ("schema".into(), Json::Str("subword-sweep/v4".into())),
             ("wall_nanos".into(), Json::UInt(self.wall_nanos.0)),
             (
                 "shapes".into(),
@@ -522,7 +538,7 @@ impl SweepReport {
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
         let root = Json::parse(text)?;
         let schema = root.field("schema")?.as_str()?;
-        if schema != "subword-sweep/v3" {
+        if schema != "subword-sweep/v4" {
             return Err(format!("unsupported schema `{schema}`"));
         }
         let shapes = root
@@ -609,6 +625,7 @@ fn cell_to_json(c: &SweepCell) -> Json {
     let r = &c.record;
     Json::Obj(vec![
         ("kernel".into(), Json::Str(r.kernel.clone())),
+        ("family".into(), Json::Str(r.family.name().into())),
         ("shape".into(), Json::Str(c.shape.clone())),
         ("scale".into(), Json::UInt(c.scale)),
         ("blocks_small".into(), Json::UInt(r.blocks.0)),
@@ -638,6 +655,10 @@ fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
         scale: v.field("scale")?.as_u64()?,
         record: MeasurementRecord {
             kernel: v.field("kernel")?.as_str()?.to_string(),
+            family: {
+                let name = v.field("family")?.as_str()?;
+                Family::from_name(name).ok_or_else(|| format!("unknown family `{name}`"))?
+            },
             blocks: (v.field("blocks_small")?.as_u64()?, v.field("blocks_large")?.as_u64()?),
             wall_nanos: HostNanos(v.field("wall_nanos")?.as_u64()?),
             sim_instructions: v.field("sim_instructions")?.as_u64()?,

@@ -136,7 +136,42 @@ fn sweep_report_round_trips_through_json() {
 
     // Corrupted documents are rejected, not mis-parsed.
     assert!(SweepReport::from_json("{}").is_err());
-    assert!(SweepReport::from_json(&json.replace("subword-sweep/v3", "v0")).is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v4", "v0")).is_err());
+}
+
+/// (e) The sweep is family-aware: per-family configs carry exactly their
+/// family's kernels, the full config is their disjoint union (plus the
+/// dot-product example), and the family column survives the JSON round
+/// trip.
+#[test]
+fn family_selection_and_family_column() {
+    use subword_kernels::suite::{pixel_suite, Family};
+
+    let paper = SweepConfig::paper(&[SHAPE_A]);
+    let pixel = SweepConfig::pixel(&[SHAPE_A]);
+    let full = SweepConfig::full(&[SHAPE_A]);
+    assert_eq!(paper.entries.len(), paper_suite().len());
+    assert_eq!(pixel.entries.len(), pixel_suite().len());
+    assert_eq!(full.entries.len(), paper.entries.len() + pixel.entries.len() + 1);
+    for e in &pixel.entries {
+        assert_eq!(e.kernel.family(), Family::Pixel);
+    }
+
+    // One cheap pixel-family sweep: every cell reports the pixel family
+    // and the column round-trips.
+    let mut cfg = pixel;
+    cfg.entries.retain(|e| e.kernel.name() == "Blend" || e.kernel.name() == "YUV2RGB");
+    let run = run_sweep(&cfg).unwrap();
+    for c in &run.report.cells {
+        assert_eq!(c.record.family, Family::Pixel, "{}", c.record.kernel);
+    }
+    let parsed = SweepReport::from_json(&run.report.to_json()).unwrap();
+    for (p, c) in parsed.cells.iter().zip(&run.report.cells) {
+        assert_eq!(p.record.family, c.record.family);
+    }
+    // A family name the parser does not know is rejected.
+    let broken = run.report.to_json().replace("\"pixel\"", "\"voxel\"");
+    assert!(SweepReport::from_json(&broken).is_err());
 }
 
 /// (d) The v3 scheduled columns hold the orchestration claims: the list

@@ -3,9 +3,9 @@
 //!
 //! Two emission modes share one walk: the plain mode keeps every
 //! transformed loop body in its original (kept) order; the ordered mode
-//! re-emits each body in its [`LoopPlan`]'s scheduled order — the SPU
+//! re-emits each body in its `LoopPlan`'s scheduled order — the SPU
 //! program passed alongside must have its states permuted identically
-//! (see [`crate::pass::permuted_spu_program`]).
+//! (see `crate::pass::permuted_spu_program`).
 
 use crate::pass::LoopPlan;
 use std::collections::HashMap;

@@ -493,8 +493,8 @@ pub(crate) fn schedule_regions(
 
 /// Schedule a whole (SPU-free) program — the baseline-variant entry
 /// point the kernel framework measures against the unscheduled build.
-/// See [`schedule_regions`]; programs that compute MMIO addresses in
-/// registers are outside this pass's contract.
+/// See `schedule_regions` (private); programs that compute MMIO
+/// addresses in registers are outside this pass's contract.
 pub fn schedule_program(program: &Program) -> (Program, ScheduleReport) {
     schedule_regions(program, &[])
 }

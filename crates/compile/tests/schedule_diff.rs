@@ -20,7 +20,7 @@ use subword_isa::program::Program;
 use subword_isa::reg::{GpReg, MmReg};
 use subword_isa::ProgramBuilder;
 use subword_kernels::framework::KernelBuild;
-use subword_kernels::suite::{dotprod_example, paper_suite};
+use subword_kernels::suite::{all_suites, dotprod_example};
 use subword_sim::{Machine, MachineConfig};
 use subword_spu::{SHAPE_A, SHAPE_D};
 
@@ -190,7 +190,7 @@ proptest! {
 /// flags, all of memory) and the scheduled one is never slower.
 #[test]
 fn suite_scheduled_variants_are_bit_identical_and_never_slower() {
-    let mut entries = paper_suite();
+    let mut entries = all_suites();
     entries.push(dotprod_example());
     for shape in [SHAPE_A, SHAPE_D] {
         for e in &entries {

@@ -9,6 +9,7 @@
 //! prologues and cold-predictor effects.
 
 use crate::paper::PaperRow;
+use crate::suite::Family;
 use subword_compile::{lift_permutes, schedule_program, CompileReport, TestSetup, TransformResult};
 use subword_isa::program::Program;
 use subword_sim::{Machine, MachineConfig, SimStats};
@@ -60,6 +61,15 @@ pub trait Kernel: Sync {
 
     /// Build the MMX-only program running `blocks` block invocations.
     fn build(&self, blocks: u64) -> KernelBuild;
+
+    /// The kernel family this benchmark belongs to (reported as its own
+    /// sweep column so consumers can slice by workload class). Required
+    /// — a new kernel must declare its family, or family-driven suite
+    /// selection and the family report column silently misclassify it.
+    /// Note the column tags *provenance*: the Figure 5 dot-product
+    /// example reports `paper` although it sits outside the Figure 9
+    /// headline list that [`crate::suite::family_suite`] returns.
+    fn family(&self) -> Family;
 
     /// The published row, if this kernel appears in the paper's tables.
     fn paper(&self) -> Option<&'static PaperRow> {
@@ -122,6 +132,8 @@ impl HostNanos {
 pub struct Measurement {
     /// Kernel name.
     pub name: &'static str,
+    /// Kernel family.
+    pub family: Family,
     /// MMX-only variant.
     pub baseline: VariantStats,
     /// MMX+SPU variant.
@@ -224,6 +236,7 @@ impl Measurement {
     pub fn record(&self) -> MeasurementRecord {
         MeasurementRecord {
             kernel: self.name.to_string(),
+            family: self.family,
             blocks: self.blocks,
             wall_nanos: self.wall_nanos,
             sim_instructions: self.sim_instructions,
@@ -258,6 +271,8 @@ impl Measurement {
 pub struct MeasurementRecord {
     /// Kernel name matching the paper's tables.
     pub kernel: String,
+    /// Kernel family the benchmark belongs to.
+    pub family: Family,
     /// Block counts used (small, large).
     pub blocks: (u64, u64),
     /// Host wall-clock spent inside the measurement's four simulator
@@ -530,6 +545,7 @@ pub fn measure_with_config_opts(
 
     Ok(Measurement {
         name: kernel.name(),
+        family: kernel.family(),
         baseline: VariantStats { per_block: scale(base_large - base_small), total: base_large },
         spu: VariantStats { per_block: scale(spu_large - spu_small), total: spu_large },
         sched_baseline: VariantStats {
@@ -568,6 +584,7 @@ mod tests {
     fn meas(base: SimStats, spu: SimStats) -> Measurement {
         Measurement {
             name: "synthetic",
+            family: Family::Paper,
             baseline: VariantStats { per_block: base, total: base },
             spu: VariantStats { per_block: spu, total: spu },
             sched_baseline: VariantStats { per_block: base, total: base },

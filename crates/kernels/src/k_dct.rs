@@ -9,6 +9,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::{dct8_coefficients, dct8x8};
+use crate::suite::Family;
 use crate::workload::{samples, to_bytes, to_bytes_u32};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -64,6 +65,10 @@ fn emit_pass(b: &mut ProgramBuilder, name: &str, src_base: u32, dst_base: u32) {
 }
 
 impl Kernel for Dct8x8 {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         "DCT"
     }

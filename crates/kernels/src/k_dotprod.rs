@@ -9,6 +9,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::figure5_products;
+use crate::suite::Family;
 use crate::workload::{samples, to_bytes};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -28,6 +29,10 @@ pub const GROUPS: usize = 32;
 pub struct DotProd;
 
 impl Kernel for DotProd {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         "DotProd"
     }

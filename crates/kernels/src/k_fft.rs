@@ -16,6 +16,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::{bit_reverse_table, deinterleave, fft_q15, twiddles};
+use crate::suite::Family;
 use crate::workload::{samples, to_bytes, to_bytes_u32};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -40,6 +41,10 @@ pub type Fft1024 = Fft<1024>;
 pub type Fft128 = Fft<128>;
 
 impl<const N: usize> Kernel for Fft<N> {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         match N {
             1024 => "FFT1024",

@@ -13,6 +13,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::fir;
+use crate::suite::Family;
 use crate::workload::{coefficients, samples, to_bytes};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -59,6 +60,10 @@ impl<const TAPS: usize> Fir<TAPS> {
 }
 
 impl<const TAPS: usize> Kernel for Fir<TAPS> {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         match TAPS {
             12 => "FIR12",

@@ -14,6 +14,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::iir;
+use crate::suite::Family;
 use crate::workload::{coefficients, samples, to_bytes};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -51,6 +52,10 @@ impl Iir10 {
 }
 
 impl Kernel for Iir10 {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         "IIR"
     }

@@ -8,6 +8,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::matmul16;
+use crate::suite::Family;
 use crate::workload::{matrix, to_bytes, to_bytes_u32};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -29,6 +30,10 @@ const ROW_BYTES: i32 = 32;
 pub struct MatMul16;
 
 impl Kernel for MatMul16 {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         "Matrix Multiply"
     }

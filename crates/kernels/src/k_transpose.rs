@@ -11,6 +11,7 @@
 
 use crate::framework::{Kernel, KernelBuild};
 use crate::refimpl::transpose;
+use crate::suite::Family;
 use crate::workload::{matrix, to_bytes, to_bytes_u32};
 use subword_compile::TestSetup;
 use subword_isa::mem::Mem;
@@ -31,6 +32,10 @@ const ROW_BYTES: i32 = 32;
 pub struct Transpose16;
 
 impl Kernel for Transpose16 {
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+
     fn name(&self) -> &'static str {
         "Matrix Transpose"
     }

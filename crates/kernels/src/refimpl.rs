@@ -218,6 +218,111 @@ pub fn figure5_products(x: &[i16], y: &[i16]) -> (Vec<i16>, Vec<i16>) {
     (lo, hi)
 }
 
+// ---- Pixel-family references (u8 image kernels) -------------------------
+
+/// Clamp an i32 to the unsigned-byte range — the scalar mirror of
+/// `packuswb`'s per-lane saturation.
+#[inline]
+pub fn clamp_u8(x: i32) -> u8 {
+    x.clamp(0, 255) as u8
+}
+
+/// Sum of absolute differences of one 16×16 block: `cur` is row-major
+/// with stride 16, the candidate starts at `refw[offset]` with stride
+/// `ref_stride`.
+pub fn sad16x16(cur: &[u8], refw: &[u8], ref_stride: usize, offset: usize) -> u32 {
+    let mut sum = 0u32;
+    for y in 0..16 {
+        for x in 0..16 {
+            let a = cur[y * 16 + x] as i32;
+            let b = refw[offset + y * ref_stride + x] as i32;
+            sum += a.abs_diff(b);
+        }
+    }
+    sum
+}
+
+/// Motion-estimation candidate search: the SAD of `cur` against every
+/// candidate offset, plus `(best_index, best_sad)` with first-wins tie
+/// breaking (the assembly's strictly-less update rule).
+pub fn sad_search(
+    cur: &[u8],
+    refw: &[u8],
+    ref_stride: usize,
+    offsets: &[usize],
+) -> (Vec<u32>, u32, u32) {
+    let sads: Vec<u32> = offsets.iter().map(|&o| sad16x16(cur, refw, ref_stride, o)).collect();
+    let (mut best_idx, mut best) = (0u32, sads[0]);
+    for (i, &s) in sads.iter().enumerate().skip(1) {
+        if s < best {
+            best = s;
+            best_idx = i as u32;
+        }
+    }
+    (sads, best_idx, best)
+}
+
+/// Q14 color coefficients shared by the YUV kernel and its reference:
+/// `(rv, gu, gv, bu)` ≈ `(1.402, 0.344, 0.714, 1.772) × 16384`.
+pub const YUV_COEF: (i16, i16, i16, i16) = (22970, 5636, 11698, 29032);
+
+/// YUV→RGB conversion on planar u8 inputs, bit-exact to the MMX kernel:
+/// chroma is centred (`−128`), pre-scaled by 4 (`psllw 2`), multiplied
+/// `pmulhw`-style (`(a·c) >> 16`, truncating), combined with wrapping
+/// word adds (ranges stay far from ±32768), and clamped to bytes by the
+/// saturating pack.
+pub fn yuv_to_rgb(y: &[u8], u: &[u8], v: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let (c_rv, c_gu, c_gv, c_bu) = YUV_COEF;
+    let mut r = Vec::with_capacity(y.len());
+    let mut g = Vec::with_capacity(y.len());
+    let mut b = Vec::with_capacity(y.len());
+    for i in 0..y.len() {
+        let yy = y[i] as i32;
+        let uu = ((u[i] as i32) - 128) << 2;
+        let vv = ((v[i] as i32) - 128) << 2;
+        r.push(clamp_u8(yy + ((vv * c_rv as i32) >> 16)));
+        g.push(clamp_u8(yy - ((uu * c_gu as i32) >> 16) - ((vv * c_gv as i32) >> 16)));
+        b.push(clamp_u8(yy + ((uu * c_bu as i32) >> 16)));
+    }
+    (r, g, b)
+}
+
+/// Per-pixel alpha blend with a Q7 alpha plane (`a ∈ 0..=128`):
+/// `out = dst + ((src − dst)·a >> 7)`, the shift arithmetic (`psraw`) so
+/// negative deltas round toward −∞ exactly as the kernel does.
+pub fn alpha_blend(src: &[u8], dst: &[u8], alpha: &[u8]) -> Vec<u8> {
+    src.iter()
+        .zip(dst)
+        .zip(alpha)
+        .map(|((&s, &d), &a)| {
+            let diff = s as i32 - d as i32;
+            clamp_u8(d as i32 + ((diff * a as i32) >> 7))
+        })
+        .collect()
+}
+
+/// 3×3 Gaussian convolution (`[[1,2,1],[2,4,2],[1,2,1]] / 16`) over the
+/// interior of a `w × h` u8 image with stride `w`: one output per
+/// interior pixel, row-major `(w−2) × (h−2)`, each
+/// `(Σ coeff·p) >> 4` — the word sums stay under 16·255 so the kernel's
+/// unsigned word arithmetic never wraps.
+pub fn conv3x3_gauss(img: &[u8], w: usize, h: usize) -> Vec<u8> {
+    const K: [[u32; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+    let mut out = Vec::with_capacity((w - 2) * (h - 2));
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut acc = 0u32;
+            for (dy, row) in K.iter().enumerate() {
+                for (dx, &k) in row.iter().enumerate() {
+                    acc += k * img[(y + dy - 1) * w + (x + dx - 1)] as u32;
+                }
+            }
+            out.push((acc >> 4) as u8);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +458,79 @@ mod tests {
             // a * ~1.0 with truncation: within 1 LSB.
             assert!((c[i] as i32 - a[i] as i32).abs() <= 1, "element {i}");
         }
+    }
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let cur = workload::pixels(21, 256);
+        // Window = the block itself at offset 0, stride 16.
+        assert_eq!(sad16x16(&cur, &cur, 16, 0), 0);
+        // A one-greater copy differs by exactly 1 per pixel.
+        let brighter: Vec<u8> = cur.iter().map(|&p| p.saturating_add(1)).collect();
+        let sad = sad16x16(&cur, &brighter, 16, 0);
+        let saturated = cur.iter().filter(|&&p| p == 255).count() as u32;
+        assert_eq!(sad, 256 - saturated);
+    }
+
+    #[test]
+    fn sad_search_finds_planted_candidate_first_wins() {
+        let cur = workload::pixels(22, 256);
+        let mut refw = workload::pixels(23, 32 * 24);
+        // Plant the block at (dx, dy) = (8, 4) in the 32-wide window.
+        let planted = 4 * 32 + 8;
+        for y in 0..16 {
+            for x in 0..16 {
+                refw[planted + y * 32 + x] = cur[y * 16 + x];
+            }
+        }
+        let offsets = [0, 8, planted, planted + 1];
+        let (sads, best_idx, best) = sad_search(&cur, &refw, 32, &offsets);
+        assert_eq!(sads[2], 0);
+        assert_eq!((best_idx, best), (2, 0));
+        // Ties break to the first candidate.
+        let (_, idx, _) = sad_search(&cur, &refw, 32, &[planted, planted]);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn yuv_gray_and_saturation() {
+        // Neutral chroma (128) passes luma through untouched.
+        let y: Vec<u8> = (0..=255).map(|v| v as u8).collect();
+        let n = vec![128u8; 256];
+        let (r, g, b) = yuv_to_rgb(&y, &n, &n);
+        assert_eq!(r, y);
+        assert_eq!(g, y);
+        assert_eq!(b, y);
+        // Extreme chroma drives the saturating pack to both rails.
+        let (r, _, b) = yuv_to_rgb(&[255, 0], &[255, 0], &[255, 0]);
+        assert_eq!(r[0], 255); // 255 + big positive
+        assert_eq!(b[1], 0); // 0 + big negative
+    }
+
+    #[test]
+    fn blend_endpoints_and_monotonicity() {
+        let src = workload::pixels(31, 64);
+        let dst = workload::pixels(32, 64);
+        // a = 0 keeps dst; a = 128 (Q7 one) lands exactly on src.
+        assert_eq!(alpha_blend(&src, &dst, &[0u8; 64]), dst);
+        assert_eq!(alpha_blend(&src, &dst, &[128u8; 64]), src);
+        // Intermediate alpha stays between the endpoints.
+        for (i, &o) in alpha_blend(&src, &dst, &[64u8; 64]).iter().enumerate() {
+            let (lo, hi) = (src[i].min(dst[i]), src[i].max(dst[i]));
+            assert!(o >= lo && o <= hi, "pixel {i}: {o} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn conv3x3_flat_and_impulse() {
+        // A flat image convolves to itself (kernel sums to 16).
+        let img = vec![200u8; 8 * 8];
+        assert_eq!(conv3x3_gauss(&img, 8, 8), vec![200u8; 6 * 6]);
+        // A centred impulse spreads the kernel (16·16 >> 4 = 16·coeff).
+        let mut img = vec![0u8; 5 * 5];
+        img[2 * 5 + 2] = 160; // 160·coeff >> 4 = 10·coeff
+        let out = conv3x3_gauss(&img, 5, 5);
+        assert_eq!(out, vec![10, 20, 10, 20, 40, 20, 10, 20, 10]);
     }
 
     #[test]

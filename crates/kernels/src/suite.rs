@@ -1,13 +1,59 @@
-//! The Figure 9 benchmark suite.
+//! The benchmark suites, grouped into kernel **families**.
+//!
+//! The paper's Figure 9 measures eight signal-processing routines; this
+//! reproduction adds a pixel/video family (SAD, YUV→RGB, alpha blend,
+//! 3×3 convolution) where saturating arithmetic and byte-lane shuffles
+//! dominate — the §2 operations "vital to ensure proper data" that the
+//! signal kernels barely touch. Harnesses select suites by [`Family`]
+//! instead of hard-coding kernel lists, so new families extend every
+//! sweep/table/CI consumer automatically.
 
 use crate::framework::Kernel;
+use crate::k_blend::AlphaBlend;
+use crate::k_conv3x3::Conv3x3;
 use crate::k_dct::Dct8x8;
 use crate::k_dotprod::DotProd;
 use crate::k_fft::{Fft1024, Fft128};
 use crate::k_fir::{Fir12, Fir22};
 use crate::k_iir::Iir10;
 use crate::k_matmul::MatMul16;
+use crate::k_sad::Sad16x16;
 use crate::k_transpose::Transpose16;
+use crate::k_yuv::YuvToRgb;
+use std::fmt;
+
+/// A kernel family: which suite a kernel belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// The paper's Figure 9 signal kernels (plus the Figure 5 example).
+    Paper,
+    /// Pixel/video kernels on u8 images (saturation + byte shuffles).
+    Pixel,
+}
+
+impl Family {
+    /// Every family, in report order.
+    pub const ALL: [Family; 2] = [Family::Paper, Family::Pixel];
+
+    /// Stable lower-case name (used in report JSON and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Paper => "paper",
+            Family::Pixel => "pixel",
+        }
+    }
+
+    /// Parse a [`Family::name`] string.
+    pub fn from_name(s: &str) -> Option<Family> {
+        Family::ALL.iter().copied().find(|f| f.name() == s)
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A suite entry: the kernel plus the block counts its measurement uses
 /// (small enough to simulate quickly, large enough that steady state
@@ -30,6 +76,10 @@ static DCT: Dct8x8 = Dct8x8;
 static MATMUL: MatMul16 = MatMul16;
 static TRANSPOSE: Transpose16 = Transpose16;
 static DOTPROD: DotProd = DotProd;
+static SAD: Sad16x16 = Sad16x16;
+static YUV: YuvToRgb = YuvToRgb;
+static BLEND: AlphaBlend = AlphaBlend;
+static CONV3X3: Conv3x3 = Conv3x3;
 
 /// The eight paper benchmarks, in Figure 9 order.
 pub fn paper_suite() -> Vec<SuiteEntry> {
@@ -43,6 +93,31 @@ pub fn paper_suite() -> Vec<SuiteEntry> {
         SuiteEntry { kernel: &MATMUL, blocks_small: 2, blocks_large: 6 },
         SuiteEntry { kernel: &TRANSPOSE, blocks_small: 2, blocks_large: 8 },
     ]
+}
+
+/// The four pixel/video benchmarks.
+pub fn pixel_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry { kernel: &SAD, blocks_small: 2, blocks_large: 5 },
+        SuiteEntry { kernel: &YUV, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &BLEND, blocks_small: 2, blocks_large: 6 },
+        SuiteEntry { kernel: &CONV3X3, blocks_small: 2, blocks_large: 5 },
+    ]
+}
+
+/// The suite of one family.
+pub fn family_suite(family: Family) -> Vec<SuiteEntry> {
+    match family {
+        Family::Paper => paper_suite(),
+        Family::Pixel => pixel_suite(),
+    }
+}
+
+/// Every family's suite, concatenated in [`Family::ALL`] order (the
+/// Figure 5 dot-product example is not part of any family's headline
+/// numbers and is appended separately by harnesses that want it).
+pub fn all_suites() -> Vec<SuiteEntry> {
+    Family::ALL.iter().flat_map(|&f| family_suite(f)).collect()
 }
 
 /// The Figure 5 running example (not part of Figure 9).
@@ -61,7 +136,33 @@ mod tests {
         for e in &s {
             assert!(e.kernel.paper().is_some(), "{} missing from paper tables", e.kernel.name());
             assert!(e.blocks_small < e.blocks_large);
+            assert_eq!(e.kernel.family(), Family::Paper);
         }
         assert!(dotprod_example().kernel.paper().is_none());
+    }
+
+    #[test]
+    fn pixel_suite_is_the_pixel_family() {
+        let s = pixel_suite();
+        assert_eq!(s.len(), 4);
+        for e in &s {
+            assert_eq!(e.kernel.family(), Family::Pixel);
+            assert!(e.kernel.paper().is_none(), "{} cannot be a paper kernel", e.kernel.name());
+            assert!(e.blocks_small < e.blocks_large);
+        }
+    }
+
+    #[test]
+    fn families_partition_the_full_suite() {
+        let all = all_suites();
+        assert_eq!(all.len(), paper_suite().len() + pixel_suite().len());
+        let mut names: Vec<&str> = all.iter().map(|e| e.kernel.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "kernel names must be unique across families");
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Family::from_name("bogus"), None);
     }
 }

@@ -39,6 +39,25 @@ pub fn sine(n: usize, cycles: f64, amplitude: f64) -> Vec<i16> {
         .collect()
 }
 
+/// Seeded stream of full-range u8 pixels (the pixel-family kernels'
+/// native element type).
+pub fn pixels(seed: u64, n: usize) -> Vec<u8> {
+    pixels_max(seed, n, 255)
+}
+
+/// Seeded stream of u8 values bounded to `0..=max` (alpha planes use
+/// `max = 128`, a Q7 coverage factor, so blend products stay inside the
+/// signed-16 multiplier).
+pub fn pixels_max(seed: u64, n: usize, max: u8) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..=max as i32) as u8).collect()
+}
+
+/// A seeded `w × h` u8 image in row-major order with stride `w`.
+pub fn image(seed: u64, w: usize, h: usize) -> Vec<u8> {
+    pixels(seed, w * h)
+}
+
 /// i16 slice to little-endian bytes.
 pub fn to_bytes(v: &[i16]) -> Vec<u8> {
     v.iter().flat_map(|x| x.to_le_bytes()).collect()
@@ -62,6 +81,27 @@ mod tests {
     fn deterministic_across_calls() {
         assert_eq!(samples(42, 100, 1000), samples(42, 100, 1000));
         assert_ne!(samples(42, 100, 1000), samples(43, 100, 1000));
+    }
+
+    #[test]
+    fn pixel_generators_deterministic_across_calls() {
+        assert_eq!(pixels(9, 256), pixels(9, 256));
+        assert_ne!(pixels(9, 256), pixels(10, 256));
+        assert_eq!(pixels_max(9, 64, 128), pixels_max(9, 64, 128));
+        assert_eq!(image(3, 16, 16), image(3, 16, 16));
+        assert_eq!(image(3, 16, 16), pixels(3, 256));
+    }
+
+    #[test]
+    fn pixel_bounds_and_coverage() {
+        for &p in &pixels_max(1, 10_000, 128) {
+            assert!(p <= 128);
+        }
+        // Full-range pixels actually cover the rails (saturation paths in
+        // the pixel kernels must see extreme bytes).
+        let p = pixels(2, 10_000);
+        assert!(p.contains(&0));
+        assert!(p.contains(&255));
     }
 
     #[test]

@@ -15,12 +15,12 @@
 
 use subword_compile::lift_permutes;
 use subword_kernels::framework::KernelBuild;
-use subword_kernels::suite::{dotprod_example, paper_suite, SuiteEntry};
+use subword_kernels::suite::{all_suites, dotprod_example, SuiteEntry};
 use subword_sim::{Machine, MachineConfig, SimStats};
 use subword_spu::{SHAPE_A, SHAPE_D};
 
 fn full_suite() -> Vec<SuiteEntry> {
-    let mut entries = paper_suite();
+    let mut entries = all_suites();
     entries.push(dotprod_example());
     entries
 }

@@ -78,6 +78,54 @@ pub struct CheckSummary {
     pub cells: usize,
 }
 
+/// A failing [`CyclesBaseline::check`], split into the two classes a CI
+/// log must distinguish: **cycle regressions** (a gated counter got
+/// slower — fix the code) and **coverage changes** (cells appeared or
+/// disappeared — the baseline no longer describes the sweep; regenerate
+/// it if the change is intentional). The two used to fail with one
+/// undifferentiated message, which is how a coverage-shaped degradation
+/// (SAD silently losing its windowed-shape lifts) could hide behind
+/// "baseline violation".
+#[derive(Clone, Debug, Default)]
+pub struct CheckFailure {
+    /// Cells whose gated cycle counters regressed.
+    pub regressions: Vec<String>,
+    /// Cells present on only one side of the comparison.
+    pub coverage: Vec<String>,
+}
+
+impl CheckFailure {
+    fn is_empty(&self) -> bool {
+        self.regressions.is_empty() && self.coverage.is_empty()
+    }
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.regressions.is_empty() {
+            write!(f, "{} cycle regression(s) — the code got slower:", self.regressions.len())?;
+            for r in &self.regressions {
+                write!(f, "\n  {r}")?;
+            }
+        }
+        if !self.coverage.is_empty() {
+            if !self.regressions.is_empty() {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{} coverage change(s) — cells added or removed; if intentional, regenerate \
+                 with `sweep --write-baseline`:",
+                self.coverage.len()
+            )?;
+            for c in &self.coverage {
+                write!(f, "\n  {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl CyclesBaseline {
     /// Extract the gated cycle counts from a sweep report.
     pub fn from_report(report: &SweepReport) -> CyclesBaseline {
@@ -99,16 +147,15 @@ impl CyclesBaseline {
         }
     }
 
-    /// Compare a report against this committed baseline. `Err` on any
-    /// cycle regression (current > baseline) or coverage mismatch in
-    /// either direction; `Ok` carries the improvement notes.
-    pub fn check(&self, report: &SweepReport) -> Result<CheckSummary, String> {
+    /// The full comparison both [`CyclesBaseline::check`] and
+    /// [`CyclesBaseline::diff_summary`] are views of.
+    fn compare(&self, report: &SweepReport) -> (CheckSummary, CheckFailure) {
         let current = CyclesBaseline::from_report(report);
-        let mut errors = Vec::new();
         let mut summary = CheckSummary { cells: self.cells.len(), ..Default::default() };
+        let mut failure = CheckFailure::default();
         for base in &self.cells {
             let Some(cur) = current.cells.iter().find(|c| c.key() == base.key()) else {
-                errors.push(format!(
+                failure.coverage.push(format!(
                     "{}/shape {}/scale {}: in baseline but not in report (lost coverage)",
                     base.kernel, base.shape, base.scale
                 ));
@@ -116,7 +163,7 @@ impl CyclesBaseline {
             };
             for ((name, was), (_, now)) in base.counters().into_iter().zip(cur.counters()) {
                 match now.cmp(&was) {
-                    std::cmp::Ordering::Greater => errors.push(format!(
+                    std::cmp::Ordering::Greater => failure.regressions.push(format!(
                         "{}/shape {}/scale {}: {name} per-block cycles regressed {was} -> {now} \
                          (+{:.2}%)",
                         base.kernel,
@@ -137,21 +184,52 @@ impl CyclesBaseline {
         }
         for cur in &current.cells {
             if !self.cells.iter().any(|b| b.key() == cur.key()) {
-                errors.push(format!(
-                    "{}/shape {}/scale {}: in report but not in baseline (ungated cell — \
-                     regenerate with `sweep --write-baseline`)",
+                failure.coverage.push(format!(
+                    "{}/shape {}/scale {}: in report but not in baseline (ungated cell)",
                     cur.kernel, cur.shape, cur.scale
                 ));
             }
         }
-        if errors.is_empty() {
-            return Ok(summary);
+        (summary, failure)
+    }
+
+    /// Compare a report against this committed baseline. `Err` on any
+    /// cycle regression (current > baseline) or coverage mismatch in
+    /// either direction — the [`CheckFailure`] keeps the two classes
+    /// apart; `Ok` carries the improvement notes.
+    pub fn check(&self, report: &SweepReport) -> Result<CheckSummary, CheckFailure> {
+        let (summary, failure) = self.compare(report);
+        if failure.is_empty() {
+            Ok(summary)
+        } else {
+            Err(failure)
         }
-        let mut msg = format!("{} baseline violation(s):", errors.len());
-        for e in &errors {
-            let _ = write!(msg, "\n  {e}");
+    }
+
+    /// A human-readable diff of `report` against this baseline —
+    /// improvements, regressions and coverage changes, pass or fail —
+    /// suitable for committing next to a `--write-baseline` refresh or
+    /// uploading as a CI artifact.
+    pub fn diff_summary(&self, report: &SweepReport) -> String {
+        let (summary, failure) = self.compare(report);
+        let mut out = format!(
+            "cycles baseline diff: {} baseline cell(s) vs {} report cell(s)\n",
+            self.cells.len(),
+            report.cells.len()
+        );
+        let section = |out: &mut String, title: &str, lines: &[String]| {
+            let _ = writeln!(out, "{} {}:", lines.len(), title);
+            for l in lines {
+                let _ = writeln!(out, "  {l}");
+            }
+        };
+        section(&mut out, "improvement(s)", &summary.improvements);
+        section(&mut out, "cycle regression(s)", &failure.regressions);
+        section(&mut out, "coverage change(s)", &failure.coverage);
+        if summary.improvements.is_empty() && failure.is_empty() {
+            out.push_str("bit-identical to the committed baseline\n");
         }
-        Err(msg)
+        out
     }
 
     /// Serialize to pretty-printed JSON (stable field order, so the
@@ -245,11 +323,17 @@ mod tests {
         let report = small_report();
         let mut base = CyclesBaseline::from_report(&report);
 
-        // Current slower than baseline: hard error naming the counter.
+        // Current slower than baseline: a *cycle regression*, named as
+        // such (and never misfiled as a coverage change).
         base.cells[0].sched_spu -= 1;
         let err = base.check(&report).unwrap_err();
-        assert!(err.contains("regressed"), "{err}");
-        assert!(err.contains("sched_spu"), "{err}");
+        assert_eq!(err.regressions.len(), 1);
+        assert!(err.coverage.is_empty());
+        let msg = err.to_string();
+        assert!(msg.contains("cycle regression"), "{msg}");
+        assert!(msg.contains("regressed"), "{msg}");
+        assert!(msg.contains("sched_spu"), "{msg}");
+        assert!(!msg.contains("coverage change"), "{msg}");
 
         // Current faster than baseline: passes, but notes the improvement.
         base.cells[0].sched_spu += 2;
@@ -257,7 +341,8 @@ mod tests {
         assert_eq!(summary.improvements.len(), 1);
         assert!(summary.improvements[0].contains("improved"));
 
-        // A cell only in the baseline = lost coverage.
+        // A cell only in the baseline = lost coverage — the *coverage*
+        // class, pointing at `--write-baseline`, with zero regressions.
         let mut missing = CyclesBaseline::from_report(&report);
         missing.cells.push(CycleCell {
             kernel: "Ghost".into(),
@@ -269,11 +354,37 @@ mod tests {
             sched_baseline: 1,
             sched_spu: 1,
         });
-        assert!(missing.check(&report).unwrap_err().contains("lost coverage"));
+        let err = missing.check(&report).unwrap_err();
+        assert!(err.regressions.is_empty());
+        assert_eq!(err.coverage.len(), 1);
+        let msg = err.to_string();
+        assert!(msg.contains("coverage change"), "{msg}");
+        assert!(msg.contains("lost coverage"), "{msg}");
+        assert!(msg.contains("--write-baseline"), "{msg}");
+        assert!(!msg.contains("cycle regression"), "{msg}");
 
-        // A cell only in the report = ungated.
+        // A cell only in the report = ungated: also a coverage change.
         let mut ungated = CyclesBaseline::from_report(&report);
         ungated.cells.pop();
-        assert!(ungated.check(&report).unwrap_err().contains("not in baseline"));
+        let err = ungated.check(&report).unwrap_err();
+        assert!(err.regressions.is_empty());
+        assert!(err.to_string().contains("not in baseline"));
+    }
+
+    #[test]
+    fn diff_summary_covers_all_three_classes() {
+        let report = small_report();
+        let clean = CyclesBaseline::from_report(&report);
+        let diff = clean.diff_summary(&report);
+        assert!(diff.contains("bit-identical"), "{diff}");
+
+        let mut skewed = CyclesBaseline::from_report(&report);
+        skewed.cells[0].baseline += 5; // report is faster: improvement
+        skewed.cells[0].spu -= 1; // report is slower: regression
+        skewed.cells.pop(); // report has an ungated cell
+        let diff = skewed.diff_summary(&report);
+        assert!(diff.contains("1 improvement(s)"), "{diff}");
+        assert!(diff.contains("1 cycle regression(s)"), "{diff}");
+        assert!(diff.contains("1 coverage change(s)"), "{diff}");
     }
 }

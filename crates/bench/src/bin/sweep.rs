@@ -10,7 +10,7 @@
 //! cargo run --release -p subword-bench --bin sweep -- out.json
 //! cargo run --release -p subword-bench --bin sweep -- --family pixel out.json
 //! cargo run --release -p subword-bench --bin sweep -- --table out.json
-//! cargo run --release -p subword-bench --bin sweep -- --check-baseline BENCH_cycles.json out.json
+//! cargo run --release -p subword-bench --bin sweep -- --check-baseline BENCH_cycles.json out.json diff.txt
 //! cargo run --release -p subword-bench --bin sweep -- --write-baseline BENCH_cycles.json out.json
 //! ```
 //!
@@ -24,8 +24,12 @@
 //! per-block simulated cycles against the committed `BENCH_cycles.json`
 //! and exits non-zero on any regression or coverage change — the gating
 //! CI step (wall-clock MIPS stays informational; simulated cycles are
-//! bit-deterministic). `--write-baseline` regenerates that file from a
-//! report.
+//! bit-deterministic). The failure message keeps the two classes apart:
+//! a *cycle regression* means the code got slower, a *coverage change*
+//! means cells appeared or disappeared and the baseline needs a
+//! deliberate refresh. An optional third operand writes the full diff
+//! summary to a file (uploaded as a CI artifact). `--write-baseline`
+//! regenerates the committed file from a report.
 //!
 //! The process asserts the sweep's invariants before emitting anything:
 //!
@@ -133,13 +137,22 @@ fn main() {
         return;
     }
 
-    // `--check-baseline <baseline> <report>`: the deterministic cycles
-    // gate over an existing sweep artifact.
-    if let Some((base_path, report_path)) = arg_after(
-        &args,
-        "--check-baseline",
-        "sweep --check-baseline <BENCH_cycles.json> <report.json>",
-    ) {
+    // `--check-baseline <baseline> <report> [diff-out.txt]`: the
+    // deterministic cycles gate over an existing sweep artifact. The
+    // optional third operand writes the full diff summary
+    // (improvements, regressions, coverage changes — pass or fail) to a
+    // file, which CI uploads as the review artifact for baseline
+    // refreshes.
+    if args.iter().any(|a| a == "--check-baseline") {
+        let usage = "sweep --check-baseline <BENCH_cycles.json> <report.json> [diff-out.txt]";
+        let (base_path, report_path, diff_path) = match args.as_slice() {
+            [_, f, a, b] if f == "--check-baseline" => (a.clone(), b.clone(), None),
+            [_, f, a, b, d] if f == "--check-baseline" => (a.clone(), b.clone(), Some(d.clone())),
+            _ => {
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        };
         let text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
             eprintln!("error: read {base_path}: {e}");
             std::process::exit(1);
@@ -149,6 +162,13 @@ fn main() {
             std::process::exit(1);
         });
         let report = load_report(&report_path);
+        if let Some(path) = &diff_path {
+            std::fs::write(path, base.diff_summary(&report)).unwrap_or_else(|e| {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("cycles baseline diff written to {path}");
+        }
         match base.check(&report) {
             Ok(summary) => {
                 println!(
@@ -166,8 +186,8 @@ fn main() {
                     );
                 }
             }
-            Err(e) => {
-                eprintln!("error: cycle regression against {base_path}:\n{e}");
+            Err(failure) => {
+                eprintln!("error: cycles baseline check against {base_path} failed:\n{failure}");
                 std::process::exit(1);
             }
         }
@@ -183,8 +203,10 @@ fn main() {
     ) {
         let report = load_report(&report_path);
         let base = CyclesBaseline::from_report(&report);
-        std::fs::write(&base_path, base.to_json())
-            .unwrap_or_else(|e| panic!("write {base_path}: {e}"));
+        std::fs::write(&base_path, base.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: write {base_path}: {e}");
+            std::process::exit(1);
+        });
         println!("cycles baseline written to {base_path} ({} cells)", base.cells.len());
         return;
     }
@@ -212,7 +234,7 @@ fn main() {
                 eprintln!(
                     "usage: sweep [--family paper|pixel|all] [out.json]\n\
                             sweep --table <report.json>\n\
-                            sweep --check-baseline <BENCH_cycles.json> <report.json>\n\
+                            sweep --check-baseline <BENCH_cycles.json> <report.json> [diff.txt]\n\
                             sweep --write-baseline <BENCH_cycles.json> <report.json>"
                 );
                 std::process::exit(2);
@@ -279,7 +301,10 @@ fn main() {
 
     match out_path {
         Some(path) => {
-            std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            });
             eprintln!("sweep: report written to {path}");
         }
         None => println!("{json}"),

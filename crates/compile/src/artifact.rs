@@ -16,14 +16,19 @@
 //! program of the same family (same loop structure, any block count) at
 //! instantiation cost. Safety: `apply` re-verifies that every planned
 //! loop body is **instruction-for-instruction identical** to the analyzed
-//! one and fails with [`CompileError::StaleArtifact`] otherwise, so a
-//! cache layered on top can always fall back to a fresh [`analyze`].
+//! one *and* that the MM liveness at each loop's boundary matches the
+//! analysis (the planner's removal set and register-compaction pinning
+//! consumed it — a matching body in different surrounding code can still
+//! change what escapes the loop), and fails with
+//! [`CompileError::StaleArtifact`] otherwise, so a cache layered on top
+//! can always fall back to a fresh [`analyze`].
 
 use crate::liveness::mm_live_in;
 use crate::pass::{
     counter_fits, innermost_loops, plan_loop, transform_with, CompileError, LoopPlan, RoutePair,
     TransformResult,
 };
+use crate::regalloc::RenameMap;
 use std::collections::{BTreeMap, BTreeSet};
 use subword_isa::instr::Instr;
 use subword_isa::program::Program;
@@ -41,6 +46,15 @@ struct EligibleLoop {
     /// bound, so an unplanned loop may be skipped on replay exactly when
     /// this held at analysis time and holds again at apply time.
     counter_safe: bool,
+    /// MM registers live into the body at its head, at analysis time.
+    /// Together with `exit_live` this pins every liveness input the
+    /// planner consumed — a byte-identical loop body inside *different
+    /// surrounding code* can still change what escapes the loop, which
+    /// would invalidate both the removal set (deleted destinations must
+    /// be dead on exit) and the compaction pinning.
+    head_live: crate::liveness::MmMask,
+    /// MM registers live on the loop's exit edge, at analysis time.
+    exit_live: crate::liveness::MmMask,
 }
 
 /// One planned loop, in block-count-independent form.
@@ -48,7 +62,8 @@ struct EligibleLoop {
 struct PlanTemplate {
     /// Removal offsets relative to the loop head.
     removal: BTreeSet<usize>,
-    /// Operand routes per kept body position.
+    /// Operand routes per kept body position (in the renamed register
+    /// space when `renames` is non-empty).
     routes: Vec<RoutePair>,
     /// Scheduled emission order of the kept body (identity when the
     /// scheduler found nothing to improve). Order depends only on the
@@ -58,6 +73,11 @@ struct PlanTemplate {
     context: usize,
     /// Window base chosen for windowed shapes.
     window_base: u8,
+    /// Live-range register renames the compaction pass applied (empty =
+    /// the body is emitted as analyzed). `apply` replays the map against
+    /// the verified-identical body, so a cached lift emits exactly the
+    /// renamed instructions a fresh lift would.
+    renames: RenameMap,
 }
 
 /// A reusable compilation artifact for one (kernel family, crossbar
@@ -134,7 +154,8 @@ pub fn analyze_with_result(
     transform_with(program, |program, l, trips, ordinal, next_ctx| {
         let body = program.instrs[l.head..=l.back_edge].to_vec();
         let counter_safe = counter_fits(body.len(), trips);
-        eligible.insert(ordinal, EligibleLoop { body, counter_safe });
+        let (head_live, exit_live) = crate::pass::loop_liveness(program, &live_in, l);
+        eligible.insert(ordinal, EligibleLoop { body, counter_safe, head_live, exit_live });
         let plan = plan_loop(program, &live_in, l, trips, &shape, next_ctx)?;
         planned.insert(
             ordinal,
@@ -144,6 +165,7 @@ pub fn analyze_with_result(
                 order: plan.order.clone(),
                 context: plan.context,
                 window_base: plan.spu_program.window_base,
+                renames: plan.renames.clone(),
             },
         );
         Some(plan)
@@ -180,6 +202,7 @@ impl CompiledKernel {
 
         let mut stale: Option<String> = None;
         let mut seen = BTreeSet::new();
+        let live_in = mm_live_in(program);
         let result = transform_with(program, |program, l, trips, ordinal, next_ctx| {
             seen.insert(ordinal);
             if stale.is_some() {
@@ -202,6 +225,21 @@ impl CompiledKernel {
                 stale = Some(format!(
                     "loop {ordinal} (head {}) body differs from the analyzed family",
                     l.head
+                ));
+                return None;
+            }
+            // Planning consumed the loop-boundary liveness (removal
+            // destinations must be dead on exit; compaction pins what
+            // crosses the boundary). A matching body inside different
+            // surrounding code can still change what escapes the loop —
+            // replaying the cached deletions/renames there would
+            // miscompile, where a fresh lift would plan differently.
+            let (head_live, exit_live) = crate::pass::loop_liveness(program, &live_in, l);
+            if (head_live, exit_live) != (expected.head_live, expected.exit_live) {
+                stale = Some(format!(
+                    "loop {ordinal}: MM liveness at the loop boundary differs from analysis \
+                     (head {:#04x} -> {head_live:#04x}, exit {:#04x} -> {exit_live:#04x})",
+                    expected.head_live, expected.exit_live
                 ));
                 return None;
             }
@@ -261,12 +299,18 @@ impl CompiledKernel {
             };
             Some(LoopPlan {
                 head: l.head,
+                // The body verified identical above; replaying the
+                // cached rename map over it reproduces the compacted
+                // body a fresh lift would emit (the identity when no
+                // compaction ran).
+                body: t.renames.apply_body(body),
                 removal: t.removal.clone(),
                 routes: t.routes.clone(),
                 order: t.order.clone(),
                 context: t.context,
                 spu_program,
                 sched_spu_program,
+                renames: t.renames.clone(),
             })
         });
         if let Some(why) = stale {
@@ -402,6 +446,40 @@ mod tests {
         let art = analyze(&demo(4), &SHAPE_A).unwrap();
         assert_eq!(art.planned_loops(), 1);
         assert!(matches!(art.apply(&demo(huge)), Err(CompileError::StaleArtifact(_))));
+    }
+
+    #[test]
+    fn apply_rejects_changed_loop_boundary_liveness() {
+        // Identical loop body, but the applied program stores mm2 *after*
+        // the loop: the lifted copy/unpack destinations are now live on
+        // the exit edge, so a fresh lift would keep them — replaying the
+        // cached deletions would leave the store reading a stale mm2.
+        let art = analyze(&demo(4), &SHAPE_A).unwrap();
+        assert_eq!(art.planned_loops(), 1);
+        let leaky = assemble(
+            "demo",
+            r#"
+                .trips loop 4
+                mov r0, 4
+            loop:
+                movq mm0, [0x1000]
+                movq mm1, [0x1008]
+                movq mm2, mm0
+                punpcklwd mm2, mm1
+                paddw mm3, mm2
+                movq [0x2000], mm3
+                sub r0, 1
+                jnz loop
+                movq [0x3000], mm2
+                halt
+            "#,
+        )
+        .unwrap();
+        let err = art.apply(&leaky).err().expect("replay must go stale");
+        assert!(matches!(&err, CompileError::StaleArtifact(why) if why.contains("liveness")));
+        // A fresh lift on the leaky program indeed plans differently.
+        let fresh = lift_permutes(&leaky, &SHAPE_A).unwrap();
+        assert_eq!(fresh.report.removed_static, 0);
     }
 
     #[test]

@@ -114,6 +114,13 @@ pub struct ResolvedByte {
     /// First deleted candidate on the chain, if the chain had any hops
     /// (None ⇒ the byte is already in place; identity routing suffices).
     pub first_hop: Option<usize>,
+    /// Body position of the kept writer the chain terminated at. `None`
+    /// when the source register has no writer anywhere in the body
+    /// (loop-invariant); a position `> pos` means the writer wrapped —
+    /// the value comes from the previous iteration. The register
+    /// compaction pass uses this to attach each route source to the live
+    /// range that produces it.
+    pub def: Option<usize>,
 }
 
 /// Resolve the route source for `(reg, byte)` as read by the instruction
@@ -180,7 +187,16 @@ pub fn resolve_byte(
             // Kept writer: that value sits in `cur_reg` at the consumer
             // unless something closer to the consumer (scanned while we
             // were tracking a different register) also writes `cur_reg`.
-            return finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d);
+            return finish(
+                body,
+                removal,
+                pos,
+                cur_reg,
+                cur_byte,
+                first_hop,
+                last_change_d,
+                Some(q),
+            );
         }
         d += 1;
     }
@@ -206,9 +222,10 @@ pub fn resolve_byte(
             });
         }
     }
-    finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d)
+    finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     body: &[Instr],
     removal: &BTreeSet<usize>,
@@ -217,6 +234,7 @@ fn finish(
     byte: u8,
     first_hop: Option<usize>,
     last_change_d: usize,
+    def: Option<usize>,
 ) -> Result<ResolvedByte, ChainFail> {
     let len = body.len();
     // Positions between the consumer and the point where `reg` became the
@@ -231,7 +249,7 @@ fn finish(
             });
         }
     }
-    Ok(ResolvedByte { src: reg.file_byte(byte as usize) as u8, first_hop })
+    Ok(ResolvedByte { src: reg.file_byte(byte as usize) as u8, first_hop, def })
 }
 
 /// Byte-read masks for the two operand positions of a routable
@@ -342,10 +360,13 @@ mod tests {
         let r = resolve_byte(&body, &removal, 2, MM2, 2).unwrap();
         assert_eq!(r.src, MM1.file_byte(0) as u8);
         assert_eq!(r.first_hop, Some(1));
+        // mm1 has no writer in the body: loop-invariant, no def.
+        assert_eq!(r.def, None);
         // byte 0 -> A(0) = mm2's pre-unpack value = the kept load.
         let r = resolve_byte(&body, &removal, 2, MM2, 0).unwrap();
         assert_eq!(r.src, MM2.file_byte(0) as u8);
         assert_eq!(r.first_hop, Some(1));
+        assert_eq!(r.def, Some(0), "the kept load is the producing def");
     }
 
     /// A self-overwriting unpack (its A-operand is its own previous
@@ -426,6 +447,9 @@ mod tests {
         let r = resolve_byte(&body, &removal, 0, MM2, 2).unwrap();
         assert_eq!(r.src, MM2.file_byte(2) as u8);
         assert_eq!(r.first_hop, None);
+        // The kept writer sits *after* the consumer: a wrapped def
+        // (previous iteration's value), reported at its body position.
+        assert_eq!(r.def, Some(2));
     }
 
     /// Regression (found by the property fuzzer): a consumer at the loop

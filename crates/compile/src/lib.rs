@@ -14,8 +14,12 @@
 //!    *copy chain* back through the deleted realignments to a stable
 //!    source byte in the register file ([`chains::resolve_byte`]),
 //!    rejecting chains that a kept instruction would clobber;
-//! 4. iteratively un-deletes candidates whose consumers' routes are not
-//!    expressible in the target crossbar shape, until a fixed point;
+//! 4. when the routes' register span exceeds a windowed shape's reach,
+//!    renames MMX registers over their live ranges to compact every
+//!    route source into one crossbar window and retries the lift
+//!    ([`regalloc`]); only when no renaming exists does it iteratively
+//!    un-delete candidates whose consumers' routes are not expressible
+//!    in the target crossbar shape, until a fixed point;
 //! 5. emits the rewritten program (deleted permutes gone, an MMIO setup
 //!    prologue, and a GO store immediately ahead of each transformed
 //!    loop) plus one [`subword_spu::SpuProgram`] per loop, assigned to
@@ -38,6 +42,7 @@ pub mod artifact;
 pub mod chains;
 pub mod liveness;
 pub mod pass;
+pub mod regalloc;
 pub mod rewrite;
 pub mod schedule;
 pub mod verify;
@@ -50,5 +55,6 @@ pub use pass::{
     lift_permutes, CompileError, CompileReport, LoopReport, LoopStatus, ScheduledVariant,
     TransformResult,
 };
+pub use regalloc::{RegRename, RenameMap};
 pub use schedule::{schedule_block, schedule_program, ScheduleReport};
 pub use verify::{differential, TestSetup};

@@ -5,6 +5,7 @@ use crate::chains::{
     is_liftable, mm_write, operand_masks, operand_regs, resolve_byte, ResolvedByte,
 };
 use crate::liveness::{live_on_loop_exit, mm_live_in, MmMask};
+use crate::regalloc::{self, RenameMap};
 use crate::rewrite;
 use crate::schedule;
 use std::collections::BTreeSet;
@@ -88,6 +89,10 @@ pub struct LoopReport {
     pub states_used: usize,
     /// States carrying a non-straight route.
     pub routed_states: usize,
+    /// Live ranges the register compaction pass renamed to fit the
+    /// routes into the crossbar's register window (0 = the routes fit as
+    /// written).
+    pub renamed_ranges: usize,
     /// Outcome.
     pub status: LoopStatus,
 }
@@ -145,8 +150,13 @@ pub struct ScheduledVariant {
 /// A transformed loop, pre-rewrite.
 pub(crate) struct LoopPlan {
     pub head: usize,
+    /// The loop body the rewrite emits (back edge included, deleted
+    /// positions still present) — the *renamed* body when register
+    /// compaction ran, byte-identical to the original otherwise.
+    pub body: Vec<Instr>,
     pub removal: BTreeSet<usize>,
-    /// Routes per *kept* body position (`None` = straight).
+    /// Routes per *kept* body position (`None` = straight), in the
+    /// renamed register space.
     pub routes: Vec<RoutePair>,
     /// Scheduled emission order of the kept body
     /// (`order[new_pos] = kept_pos`; identity when unschedulable).
@@ -155,6 +165,10 @@ pub(crate) struct LoopPlan {
     pub spu_program: SpuProgram,
     /// `spu_program` with its states permuted by `order`.
     pub sched_spu_program: SpuProgram,
+    /// The live-range renames that produced `body` (empty = no
+    /// compaction). Cached by `PlanTemplate` so artifact replay rebuilds
+    /// the same body deterministically.
+    pub renames: RenameMap,
 }
 
 /// Run the lifting pass against `shape`.
@@ -242,6 +256,7 @@ pub(crate) fn transform_with(
             removed: 0,
             states_used: 0,
             routed_states: 0,
+            renamed_ranges: 0,
             status: LoopStatus::Transformed,
         };
 
@@ -262,6 +277,7 @@ pub(crate) fn transform_with(
                 rep.states_used = plan.routes.len();
                 rep.routed_states =
                     plan.routes.iter().filter(|(a, b)| a.is_some() || b.is_some()).count();
+                rep.renamed_ranges = plan.renames.len();
                 if rep.removed == 0 {
                     rep.status = LoopStatus::NothingRemovable;
                 } else {
@@ -353,7 +369,13 @@ pub(crate) fn check_loop(program: &Program, l: &LoopInfo, next_ctx: usize) -> Op
 }
 
 /// Plan one loop: choose the removal set by iterative refinement and
-/// build the routes + SPU program.
+/// build the routes + SPU program. When the routes' register span
+/// exceeds a windowed shape's reach, the live-range register compaction
+/// pass ([`crate::regalloc`]) renames the loop body to pull every route
+/// source into one window and the lift is retried on the renamed body —
+/// only if no renaming exists does the pass fall back to un-deleting
+/// candidates (the pre-compaction behaviour, which degrades byte-heavy
+/// kernels to copy elisions).
 pub(crate) fn plan_loop(
     program: &Program,
     live_in: &[MmMask],
@@ -380,31 +402,135 @@ pub(crate) fn plan_loop(
         if removal.is_empty() {
             return None;
         }
-        match try_routes(&body, &removal, shape, trips) {
-            Ok(routes) => {
-                let spu_program = build_spu_program(&program.name, &routes, trips, shape, context)?;
-                let (order, sched_spu_program) =
-                    schedule_kept_body(program, l, &body, &removal, &routes, &spu_program, shape);
-                return Some(LoopPlan {
-                    head: l.head,
-                    removal,
-                    routes,
-                    order,
-                    context,
-                    spu_program,
-                    sched_spu_program,
-                });
-            }
-            Err(blame) => {
+        let routed = match resolve_routes(&body, &removal, shape, trips) {
+            Ok(r) => r,
+            Err(RouteFailure::Blame(blame)) => {
                 // Un-delete the blamed candidate and retry.
                 if !removal.remove(&blame) {
                     // Defensive: blame not in set (should not happen);
                     // abort rather than loop forever.
                     return None;
                 }
+                continue;
             }
+            // A hard bound of the kept body itself — nothing to blame,
+            // nothing to refine.
+            Err(RouteFailure::Reject(_)) => return None,
+        };
+        if let Some(blame) = window_blame(shape, &routed.sited) {
+            if let Some(plan) =
+                plan_compacted(program, live_in, l, trips, shape, context, &body, &removal, &routed)
+            {
+                return Some(plan);
+            }
+            if !removal.remove(&blame) {
+                return None;
+            }
+            continue;
+        }
+        return finish_plan(
+            program,
+            l,
+            trips,
+            shape,
+            context,
+            body,
+            removal,
+            routed.routes,
+            RenameMap::identity(),
+        );
+    }
+}
+
+/// Retry a window-rejected lift on a register-compacted body. `None`
+/// when no compaction exists or the compacted lift fails validation (the
+/// caller falls back to refinement).
+#[allow(clippy::too_many_arguments)]
+fn plan_compacted(
+    program: &Program,
+    live_in: &[MmMask],
+    l: &LoopInfo,
+    trips: u64,
+    shape: &CrossbarShape,
+    context: usize,
+    body: &[Instr],
+    removal: &BTreeSet<usize>,
+    routed: &RoutedBody,
+) -> Option<LoopPlan> {
+    let pinned = pinned_regs(program, live_in, l);
+    let renames = regalloc::compact(body, &routed.sited, pinned, shape.window_regs())?;
+    let renamed = renames.apply_body(body);
+    // Re-resolve the byte-provenance chains on the renamed body: the
+    // compaction's interference rules make this resolution isomorphic to
+    // the original (and renaming preserves word alignment, so 16-bit
+    // port shapes re-check clean), but the re-run is what we trust, not
+    // the prediction.
+    let routed = resolve_routes(&renamed, removal, shape, trips).ok()?;
+    if window_blame(shape, &routed.sited).is_some() {
+        debug_assert!(false, "compaction produced routes outside every window");
+        return None;
+    }
+    finish_plan(program, l, trips, shape, context, renamed, removal.clone(), routed.routes, renames)
+}
+
+/// The MM liveness masks planning consumes at a loop's boundary:
+/// `(live into the body at its head, live on the loop's exit edge)`.
+/// These are the *only* liveness inputs `plan_loop` reads (the removal
+/// init and the compaction pinning), so the artifact layer pins them to
+/// detect programs whose loop bodies match the analyzed family while
+/// the code around the loop changed what escapes it.
+pub(crate) fn loop_liveness(
+    program: &Program,
+    live_in: &[MmMask],
+    l: &LoopInfo,
+) -> (MmMask, MmMask) {
+    let mut exit = 0;
+    for r in 0..8u8 {
+        let reg = subword_isa::reg::MmReg::from_index(r as usize).expect("file index");
+        if live_on_loop_exit(program, live_in, l.back_edge, reg) {
+            exit |= 1 << r;
         }
     }
+    (live_in[l.head], exit)
+}
+
+/// Registers whose values cross the loop boundary: live into the body at
+/// its head (loop-carried or defined before the loop) or live on the
+/// loop's exit edge. Compaction must not rename these.
+fn pinned_regs(program: &Program, live_in: &[MmMask], l: &LoopInfo) -> MmMask {
+    let (head, exit) = loop_liveness(program, live_in, l);
+    head | exit
+}
+
+/// Assemble the final [`LoopPlan`] from a resolved (possibly renamed)
+/// body: build the SPU program, schedule the kept body, permute the SPU
+/// states in lockstep.
+#[allow(clippy::too_many_arguments)]
+fn finish_plan(
+    program: &Program,
+    l: &LoopInfo,
+    trips: u64,
+    shape: &CrossbarShape,
+    context: usize,
+    body: Vec<Instr>,
+    removal: BTreeSet<usize>,
+    routes: Vec<RoutePair>,
+    renames: RenameMap,
+) -> Option<LoopPlan> {
+    let spu_program = build_spu_program(&program.name, &routes, trips, shape, context)?;
+    let (order, sched_spu_program) =
+        schedule_kept_body(program, l, &body, &removal, &routes, &spu_program, shape);
+    Some(LoopPlan {
+        head: l.head,
+        body,
+        removal,
+        routes,
+        order,
+        context,
+        spu_program,
+        sched_spu_program,
+        renames,
+    })
 }
 
 /// Operand-route pair for one kept instruction.
@@ -468,32 +594,111 @@ fn schedule_kept_body(
     }
 }
 
-/// Compute routes for every kept position, or return the candidate to
-/// blame for a failure.
-fn try_routes(
+/// Why [`resolve_routes`] could not route a removal set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RouteFailure {
+    /// Un-delete this candidate and retry with a smaller removal set.
+    Blame(usize),
+    /// No candidate is at fault: the kept body itself breaks a hard
+    /// bound, and un-deleting candidates only grows it. The lift is
+    /// rejected outright. (These paths used to dereference
+    /// `removal.iter().next().unwrap()` and panicked when the removal
+    /// set was empty.)
+    Reject(RejectReason),
+}
+
+/// The no-blame rejection reasons of [`RouteFailure::Reject`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RejectReason {
+    /// Removing every body position leaves no states to program.
+    EmptyKeptBody,
+    /// The kept body exceeds the controller's state budget.
+    KeptBodyTooLong,
+    /// `kept × trips` overflows the controller's 32-bit loop counter.
+    CounterOverflow,
+}
+
+/// Where a route-source register's value comes from, for the register
+/// compaction pass's web attachment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SourceAnchor {
+    /// Produced by the kept writer at this body position (strictly
+    /// before the consumer).
+    Def(usize),
+    /// A nominal operand byte the functional unit does not read but the
+    /// crossbar port still carries (`movd` forms); anchored at the
+    /// consumer, which reads the operand register.
+    Operand,
+    /// No same-iteration writer in the body: loop-invariant, or wrapped
+    /// from the previous iteration. Such a value crosses the loop
+    /// boundary in its register, so only pinned registers may carry it.
+    LiveIn,
+}
+
+/// One register a route gathers from, with its producing live range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RouteSource {
+    /// Register index (0..8).
+    pub reg: u8,
+    /// Attachment point for the compaction pass.
+    pub anchor: SourceAnchor,
+}
+
+/// A non-straight route with its consumer position and provenance.
+#[derive(Clone, Debug)]
+pub(crate) struct SitedRoute {
+    /// Body position of the kept consumer.
+    pub pos: usize,
+    /// Blame handle: the first deleted candidate feeding the route.
+    pub hop: usize,
+    /// The route itself.
+    pub route: ByteRoute,
+    /// Distinct source registers across the route's eight bytes.
+    pub sources: Vec<RouteSource>,
+}
+
+/// Output of [`resolve_routes`]: the per-kept-position route pairs plus
+/// the sited forms the window check and the compaction pass consume.
+pub(crate) struct RoutedBody {
+    /// Routes per kept body position (`(None, None)` = straight).
+    pub routes: Vec<RoutePair>,
+    /// Every non-straight route, in body order.
+    pub sited: Vec<SitedRoute>,
+}
+
+/// Resolve routes for every kept position: byte-provenance chains plus
+/// the 16-bit-port alignment check. The window-reach check is separate
+/// ([`window_blame`]) so the caller can interpose register compaction
+/// between resolution and refinement.
+pub(crate) fn resolve_routes(
     body: &[Instr],
     removal: &BTreeSet<usize>,
     shape: &CrossbarShape,
     trips: u64,
-) -> Result<Vec<RoutePair>, usize> {
+) -> Result<RoutedBody, RouteFailure> {
     let len = body.len();
     let kept_len = len - removal.len();
-    if kept_len == 0 || kept_len > MAX_STATES {
-        // Cannot happen in practice (back edge is never liftable), but
-        // guard anyway: blame an arbitrary candidate.
-        return Err(*removal.iter().next().unwrap());
+    if kept_len == 0 {
+        // Cannot happen via `plan_loop` (the back edge is never
+        // liftable), but reject structurally rather than blaming an
+        // arbitrary candidate from a possibly empty set.
+        return Err(RouteFailure::Reject(RejectReason::EmptyKeptBody));
+    }
+    if kept_len > MAX_STATES {
+        return Err(RouteFailure::Reject(RejectReason::KeptBodyTooLong));
     }
     // The controller's loop counter is 32 bits (`counter_init` holds
     // `kept × trips`); rejecting here prevents a silently truncated
     // counter. The cached-replay path re-checks the same bound
     // ([`counter_fits`]) so fresh and replayed lifts always agree.
+    // Un-deleting a candidate can only grow `kept`, so this is a hard
+    // rejection, not a blame.
     if !counter_fits(kept_len, trips) {
-        return Err(*removal.iter().next().unwrap());
+        return Err(RouteFailure::Reject(RejectReason::CounterOverflow));
     }
 
     let mut routes = Vec::with_capacity(kept_len);
-    let mut route_hops: Vec<usize> = Vec::new(); // blame handle per route
-    let mut all_routes: Vec<ByteRoute> = Vec::new();
+    let mut sited: Vec<SitedRoute> = Vec::new();
     for pos in 0..len {
         if removal.contains(&pos) {
             continue;
@@ -506,71 +711,88 @@ fn try_routes(
             let (Some(mask), Some(reg)) = (mask, reg) else { continue };
             let mut bytes = [0u8; 8];
             let mut hop: Option<usize> = None;
+            let mut sources: Vec<RouteSource> = Vec::new();
+            let mut add_source = |s: RouteSource| {
+                if !sources.contains(&s) {
+                    sources.push(s);
+                }
+            };
             for (b, m) in mask.iter().enumerate() {
                 if !*m {
                     bytes[b] = reg.file_byte(b) as u8;
+                    add_source(RouteSource {
+                        reg: reg.index() as u8,
+                        anchor: SourceAnchor::Operand,
+                    });
                     continue;
                 }
                 match resolve_byte(body, removal, pos, reg, b as u8) {
-                    Ok(ResolvedByte { src, first_hop }) => {
+                    Ok(ResolvedByte { src, first_hop, def }) => {
                         bytes[b] = src;
                         hop = hop.or(first_hop);
+                        add_source(RouteSource {
+                            reg: src / 8,
+                            anchor: match def {
+                                Some(q) if q < pos => SourceAnchor::Def(q),
+                                _ => SourceAnchor::LiveIn,
+                            },
+                        });
                     }
-                    Err(fail) => return Err(fail.blame()),
+                    Err(fail) => return Err(RouteFailure::Blame(fail.blame())),
                 }
             }
             if let Some(h) = hop {
                 let route = ByteRoute(bytes);
+                // 16-bit ports move aligned byte pairs together; a
+                // misaligned gather can never be expressed, whatever the
+                // window, so blame the feeding candidate immediately.
+                if shape.port_bits == 16 && !route.word_aligned() {
+                    return Err(RouteFailure::Blame(h));
+                }
                 if slot == 0 {
                     pair.0 = Some(route);
                 } else {
                     pair.1 = Some(route);
                 }
-                all_routes.push(route);
-                route_hops.push(h);
+                sited.push(SitedRoute { pos, hop: h, route, sources });
             }
         }
         routes.push(pair);
     }
+    Ok(RoutedBody { routes, sited })
+}
 
-    // Shape expressibility: word alignment for 16-bit ports, and a single
-    // register window covering every route for windowed shapes. On
-    // violation, blame the first deleted candidate feeding the offending
-    // route.
-    if shape.port_bits == 16 {
-        for (route, hop) in all_routes.iter().zip(&route_hops) {
-            if !route.word_aligned() {
-                return Err(*hop);
-            }
-        }
+/// The windowed-reach check: `None` when every route's register span
+/// fits one `window_regs`-wide window (always, for full-reach shapes);
+/// otherwise the blame handle of the route extending the span furthest.
+pub(crate) fn window_blame(shape: &CrossbarShape, sited: &[SitedRoute]) -> Option<usize> {
+    if shape.full_reach() || sited.is_empty() {
+        return None;
     }
-    if !shape.full_reach() {
-        let mut lo = 7u8;
-        let mut hi = 0u8;
-        for route in &all_routes {
-            let (base, span) = route.reg_span();
-            lo = lo.min(base);
-            hi = hi.max(base + span - 1);
-        }
-        if !all_routes.is_empty() && (hi - lo + 1) as usize > shape.window_regs() {
-            // Blame the route that extends the span the furthest.
-            let worst = all_routes
-                .iter()
-                .zip(&route_hops)
-                .max_by_key(|(r, _)| {
-                    let (b, s) = r.reg_span();
-                    (b + s - 1) as usize
-                })
-                .map(|(_, h)| *h)
-                .unwrap();
-            return Err(worst);
-        }
+    let mut lo = 7u8;
+    let mut hi = 0u8;
+    for s in sited {
+        let (base, span) = s.route.reg_span();
+        lo = lo.min(base);
+        hi = hi.max(base + span - 1);
     }
-    Ok(routes)
+    if (hi - lo + 1) as usize <= shape.window_regs() {
+        return None;
+    }
+    // Blame the route that extends the span the furthest.
+    sited
+        .iter()
+        .max_by_key(|s| {
+            let (b, sp) = s.route.reg_span();
+            (b + sp - 1) as usize
+        })
+        .map(|s| s.hop)
 }
 
 /// Build the Figure 7-style single-loop SPU program from the kept-body
-/// routes.
+/// routes. The window base comes straight from the routes' register
+/// span ([`SpuProgram::fit_window`] — the same placement
+/// `SpuProgram::minimal_shape` uses).
 fn build_spu_program(
     name: &str,
     routes: &[(Option<ByteRoute>, Option<ByteRoute>)],
@@ -579,16 +801,62 @@ fn build_spu_program(
     context: usize,
 ) -> Option<SpuProgram> {
     let mut prog = SpuProgram::single_loop(format!("{name}-ctx{context}"), routes, trips);
-    // Choose a window base for windowed shapes.
-    if !shape.full_reach() {
-        let max_base = 8 - shape.window_regs() as u8;
-        let base = (0..=max_base).find(|b| {
-            let mut c = prog.clone();
-            c.window_base = *b;
-            c.validate(shape).is_ok()
-        })?;
-        prog.window_base = base;
-    }
+    prog.window_base = prog.fit_window(shape)?;
     prog.validate(shape).ok()?;
     Some(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_isa::instr::MmxOperand;
+    use subword_isa::op::MmxOp;
+    use subword_isa::reg::MmReg::*;
+    use subword_spu::SHAPE_A;
+
+    /// Regression for the two latent panic paths: with an empty removal
+    /// set, the hard-bound checks used to dereference
+    /// `removal.iter().next().unwrap()`. They now reject structurally —
+    /// no blame candidate exists, and un-deleting could never help.
+    #[test]
+    fn empty_removal_hard_bounds_reject_instead_of_panicking() {
+        let empty: BTreeSet<usize> = BTreeSet::new();
+
+        // (a) Kept body exceeding the controller's state budget with
+        // nothing deleted.
+        let long = vec![Instr::Nop; MAX_STATES + 2];
+        assert_eq!(
+            resolve_routes(&long, &empty, &SHAPE_A, 1).err(),
+            Some(RouteFailure::Reject(RejectReason::KeptBodyTooLong))
+        );
+
+        // (b) A `counter_fits` overflow with zero deleted candidates.
+        let body =
+            vec![Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM1) }, Instr::Nop];
+        assert_eq!(
+            resolve_routes(&body, &empty, &SHAPE_A, u64::MAX).err(),
+            Some(RouteFailure::Reject(RejectReason::CounterOverflow))
+        );
+        // The same bound still rejects when candidates *are* deleted —
+        // shrinking the removal set can only grow the kept body, so
+        // blaming one would loop toward the old panic.
+        let one_copy = vec![
+            Instr::Mmx { op: MmxOp::Movq, dst: MM2, src: MmxOperand::Reg(MM1) },
+            Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM2) },
+            Instr::Nop,
+        ];
+        let removal: BTreeSet<usize> = [0usize].into_iter().collect();
+        assert_eq!(
+            resolve_routes(&one_copy, &removal, &SHAPE_A, u64::MAX).err(),
+            Some(RouteFailure::Reject(RejectReason::CounterOverflow))
+        );
+
+        // (c) A removal that keeps nothing.
+        let only = vec![Instr::Mmx { op: MmxOp::Movq, dst: MM0, src: MmxOperand::Reg(MM1) }];
+        let all: BTreeSet<usize> = [0usize].into_iter().collect();
+        assert_eq!(
+            resolve_routes(&only, &all, &SHAPE_A, 1).err(),
+            Some(RouteFailure::Reject(RejectReason::EmptyKeptBody))
+        );
+    }
 }

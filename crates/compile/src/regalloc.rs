@@ -1,0 +1,503 @@
+//! Live-range MMX register compaction for windowed crossbar shapes.
+//!
+//! The cheap crossbar configurations (paper Table 1 shapes B and D) only
+//! reach a 4-register window of the file, so a lift whose routes gather
+//! from a wider register span used to be *refined away*: the pass
+//! un-deleted candidates until the surviving routes fit, silently
+//! degrading byte-heavy kernels (SAD's widening-unpack network) to a
+//! couple of copy elisions on exactly the shapes the paper's area
+//! argument favours. The missing layer is classic compiler territory: a
+//! renaming pass that moves the *values* into a window instead of giving
+//! up on the *routes*.
+//!
+//! The `compact` entry point does that with live-range granularity:
+//!
+//! 1. Registers **live into** the loop (`liveness::mm_live_in` at the
+//!    head: loop-carried accumulators, pre-loaded constants, the zero
+//!    register of a widening network) or **live on the loop's exit
+//!    edge** (`liveness::live_on_loop_exit`) are *pinned* — their names
+//!    carry values across the loop boundary and cannot move without
+//!    rewriting code outside the loop.
+//! 2. Every other register's in-body accesses are split into **webs**
+//!    (def → last use chains over the *full* body, deleted candidates
+//!    included — the byte-provenance chains re-resolve through them, so
+//!    their operands must rename consistently). A web whose value feeds
+//!    an SPU route is extended to the route's consumer position: the
+//!    renamed register must hold the value until the crossbar reads it.
+//! 3. A backtracking search assigns each web a register such that
+//!    overlapping webs stay distinct, no web lands on a pinned register,
+//!    and every route-source web — together with the pinned route
+//!    sources — fits one contiguous `window_regs`-wide window. Webs
+//!    prefer their original register, so the map is minimal and
+//!    deterministic.
+//!
+//! Renaming whole registers over disjoint live ranges is semantics
+//! preserving by construction (memory operands, scalar registers and
+//! immediates are untouched, and no live value ever shares a register),
+//! and it preserves [`subword_spu::ByteRoute::word_aligned`] exactly:
+//! a rename moves whole 8-byte registers, so byte lanes keep their
+//! offsets — routes that 16-bit-port shapes (C/D) accept stay accepted,
+//! which is why the pass can retry shape D lifts without re-checking
+//! alignment separately. The caller (`pass::plan_loop`) re-resolves the
+//! routes on the renamed body and re-validates the SPU program, so a
+//! compaction bug can degrade a lift back to refinement but never emit
+//! an unroutable program.
+
+use crate::liveness::MmMask;
+use crate::pass::{SitedRoute, SourceAnchor};
+use subword_isa::instr::{Instr, RegRef};
+use subword_isa::reg::MmReg;
+
+/// Assignment attempts the backtracking search may spend before giving
+/// up (the caller falls back to refinement). Real loop bodies have a
+/// dozen webs over eight registers; this bound is never reached in
+/// practice but keeps a pathological body from hanging the compiler.
+const SEARCH_BUDGET: usize = 100_000;
+
+/// One renamed live range: body positions `start..=end` substitute
+/// register `from` with `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegRename {
+    /// Original register.
+    pub from: MmReg,
+    /// Replacement register.
+    pub to: MmReg,
+    /// First body position of the range (its def).
+    pub start: usize,
+    /// Last body position at which an instruction names the register
+    /// (the web's last occurrence — *not* the value's interference
+    /// range, which SPU route reads may extend further; see
+    /// `Web::live_end`). Occurrence ranges of one register never
+    /// overlap, keeping the per-position substitution unambiguous.
+    pub end: usize,
+}
+
+/// A per-loop register compaction plan: the set of renamed live ranges,
+/// applied simultaneously. Ranges of the same `from` register never
+/// overlap, so the per-position substitution is unambiguous, and it is
+/// applied as one parallel map (a swap never cascades).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RenameMap {
+    renames: Vec<RegRename>,
+}
+
+impl RenameMap {
+    /// A map renaming nothing.
+    pub fn identity() -> RenameMap {
+        RenameMap::default()
+    }
+
+    /// True if the map renames nothing.
+    pub fn is_empty(&self) -> bool {
+        self.renames.is_empty()
+    }
+
+    /// Number of renamed live ranges.
+    pub fn len(&self) -> usize {
+        self.renames.len()
+    }
+
+    /// The renamed ranges.
+    pub fn ranges(&self) -> &[RegRename] {
+        &self.renames
+    }
+
+    /// Rename one instruction at body position `pos`.
+    pub fn apply(&self, pos: usize, ins: &Instr) -> Instr {
+        let mut table: [u8; 8] = std::array::from_fn(|i| i as u8);
+        for r in &self.renames {
+            if r.start <= pos && pos <= r.end {
+                table[r.from.index()] = r.to.index() as u8;
+            }
+        }
+        ins.map_mm_regs(|r| {
+            MmReg::from_index(table[r.index()] as usize).expect("table maps within the file")
+        })
+    }
+
+    /// Rename a whole loop body.
+    pub fn apply_body(&self, body: &[Instr]) -> Vec<Instr> {
+        body.iter().enumerate().map(|(pos, ins)| self.apply(pos, ins)).collect()
+    }
+}
+
+/// One live range of a (non-pinned) register within the loop body.
+#[derive(Clone, Copy, Debug)]
+struct Web {
+    /// Register index the web originally occupies.
+    reg: usize,
+    /// Body position of the def that opens the range.
+    start: usize,
+    /// Last body position at which an *instruction* names the register
+    /// (def or use). The rename substitution applies over
+    /// `start..=end` — occurrence ranges of the same register never
+    /// overlap, so `RenameMap::apply` stays unambiguous.
+    end: usize,
+    /// Last body position the *value* must survive to — `end`, extended
+    /// by SPU route reads of the value (the crossbar reads the file at
+    /// the consumer after the intervening deleted writers are gone).
+    /// Interference uses this, so no other web may occupy the renamed
+    /// register while the routed value is still needed; only the
+    /// occurrence range is substituted.
+    live_end: usize,
+    /// The web is the source of at least one SPU route: it must be
+    /// assigned inside the crossbar window.
+    routed: bool,
+}
+
+impl Web {
+    fn overlaps(&self, other: &Web) -> bool {
+        self.start <= other.live_end && other.start <= self.live_end
+    }
+}
+
+/// Split every non-pinned register's body accesses into webs. `None`
+/// when the accesses contradict the pinning (a read with no reaching
+/// in-body def would mean the register is live-in after all).
+fn build_webs(body: &[Instr], pinned: MmMask) -> Option<Vec<Web>> {
+    let mut webs: Vec<Web> = Vec::new();
+    let mut open: [Option<usize>; 8] = [None; 8];
+    for (pos, ins) in body.iter().enumerate() {
+        let mut read_mask: u8 = 0;
+        for r in ins.reads() {
+            if let RegRef::Mm(m) = r {
+                read_mask |= 1 << m.index();
+                if pinned & (1 << m.index()) != 0 {
+                    continue;
+                }
+                // A use must extend an open web; a non-pinned register
+                // read before any in-body def contradicts the liveness
+                // pinning.
+                let w = &mut webs[open[m.index()]?];
+                w.end = pos;
+                w.live_end = w.live_end.max(pos);
+            }
+        }
+        if let Some(RegRef::Mm(m)) = ins.writes() {
+            let i = m.index();
+            if pinned & (1 << i) != 0 {
+                continue;
+            }
+            if read_mask & (1 << i) != 0 {
+                // Read-modify-write: the def extends the same web the
+                // read just touched.
+                continue;
+            }
+            // A pure def opens a fresh web (the previous one, if any,
+            // ended at its last use).
+            open[i] = Some(webs.len());
+            webs.push(Web { reg: i, start: pos, end: pos, live_end: pos, routed: false });
+        }
+    }
+    Some(webs)
+}
+
+/// Attach every SPU route source to the web producing its value (marking
+/// it routed and extending its *interference* range to the consumer —
+/// the occurrence range the substitution applies over is untouched), or
+/// to the pinned mask. `None` when a source cannot be attached — a
+/// non-pinned loop-invariant or wrapped (previous-iteration) source,
+/// which renaming cannot handle.
+fn mark_route_sources(webs: &mut [Web], sited: &[SitedRoute], pinned: MmMask) -> Option<MmMask> {
+    let mut routed_pinned: MmMask = 0;
+    for s in sited {
+        for src in &s.sources {
+            let reg = src.reg as usize;
+            if pinned & (1 << reg) != 0 {
+                routed_pinned |= 1 << reg;
+                continue;
+            }
+            let web = match src.anchor {
+                // The value of the web containing the kept writer must
+                // survive (in its renamed register) until the crossbar
+                // reads it at the consumer.
+                SourceAnchor::Def(q) => {
+                    webs.iter_mut().find(|w| w.reg == reg && w.start <= q && q <= w.end)?
+                }
+                // A nominal operand byte the unit never reads still
+                // flows through the crossbar port: the operand's own web
+                // (covering the consumer, which reads it) constrains the
+                // window too.
+                SourceAnchor::Operand => {
+                    webs.iter_mut().find(|w| w.reg == reg && w.start <= s.pos && s.pos <= w.end)?
+                }
+                // Loop-invariant / loop-carried values live across the
+                // loop boundary; only pinned registers may carry them.
+                SourceAnchor::LiveIn => return None,
+            };
+            web.routed = true;
+            web.live_end = web.live_end.max(s.pos);
+        }
+    }
+    Some(routed_pinned)
+}
+
+/// Backtracking register assignment for one window placement. Variables
+/// are the webs (routed first — most constrained); domains prefer the
+/// original register so the resulting map is minimal.
+fn assign(
+    webs: &[Web],
+    order: &[usize],
+    window_mask: u8,
+    pinned: MmMask,
+    budget: &mut usize,
+) -> Option<Vec<u8>> {
+    fn rec(
+        webs: &[Web],
+        order: &[usize],
+        depth: usize,
+        chosen: &mut Vec<u8>,
+        window_mask: u8,
+        pinned: MmMask,
+        budget: &mut usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let w = &webs[order[depth]];
+        let allowed = if w.routed { window_mask & !pinned } else { !pinned };
+        // Original register first, then ascending: deterministic and
+        // minimal-change.
+        let candidates =
+            std::iter::once(w.reg as u8).chain((0u8..8).filter(|&r| r as usize != w.reg));
+        for reg in candidates {
+            if allowed & (1 << reg) == 0 {
+                continue;
+            }
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            let conflict = order[..depth]
+                .iter()
+                .zip(chosen.iter())
+                .any(|(&o, &c)| c == reg && webs[o].overlaps(w));
+            if conflict {
+                continue;
+            }
+            chosen.push(reg);
+            if rec(webs, order, depth + 1, chosen, window_mask, pinned, budget) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    let mut chosen = Vec::with_capacity(order.len());
+    rec(webs, order, 0, &mut chosen, window_mask, pinned, budget).then_some(chosen)
+}
+
+/// Compute a rename map that pulls every SPU route source into one
+/// contiguous `window_regs`-wide register window, or `None` when no such
+/// renaming exists (the caller falls back to un-deleting candidates).
+///
+/// `body` is the full loop body (deleted candidates and back edge
+/// included), `sited` the resolved routes that failed the window check,
+/// and `pinned` the registers live into the body or on its exit edge.
+pub(crate) fn compact(
+    body: &[Instr],
+    sited: &[SitedRoute],
+    pinned: MmMask,
+    window_regs: usize,
+) -> Option<RenameMap> {
+    if window_regs >= 8 || sited.is_empty() {
+        return None;
+    }
+    let mut webs = build_webs(body, pinned)?;
+    let routed_pinned = mark_route_sources(&mut webs, sited, pinned)?;
+
+    // Most-constrained-first variable order: routed webs, then the rest;
+    // within each class by (start, reg) for determinism.
+    let mut order: Vec<usize> = (0..webs.len()).collect();
+    order.sort_by_key(|&i| (!webs[i].routed, webs[i].start, webs[i].reg));
+
+    let mut budget = SEARCH_BUDGET;
+    for base in 0..=(8 - window_regs) {
+        let window_mask = (((1u16 << window_regs) - 1) << base) as u8;
+        if routed_pinned & !window_mask != 0 {
+            continue; // a pinned route source falls outside this window
+        }
+        let Some(chosen) = assign(&webs, &order, window_mask, pinned, &mut budget) else {
+            continue;
+        };
+        let mut renames: Vec<RegRename> = order
+            .iter()
+            .zip(&chosen)
+            .filter(|(&o, &c)| c as usize != webs[o].reg)
+            .map(|(&o, &c)| RegRename {
+                from: MmReg::from_index(webs[o].reg).expect("web register within the file"),
+                to: MmReg::from_index(c as usize).expect("assigned register within the file"),
+                start: webs[o].start,
+                end: webs[o].end,
+            })
+            .collect();
+        if renames.is_empty() {
+            // Every routed source already fits this window unrenamed —
+            // the caller's window check would have passed. Treat as
+            // "nothing to do" rather than claiming a compaction.
+            return None;
+        }
+        renames.sort_by_key(|r| (r.start, r.from.index()));
+        // The substitution ranges are occurrence ranges (`Web::end`, not
+        // `live_end`), so two ranges of the same register can never
+        // overlap — which is what makes `RenameMap::apply`'s
+        // per-position table order-independent.
+        debug_assert!(
+            renames.iter().enumerate().all(|(i, a)| {
+                renames[i + 1..]
+                    .iter()
+                    .all(|b| a.from != b.from || a.end < b.start || b.end < a.start)
+            }),
+            "same-register rename ranges overlap"
+        );
+        return Some(RenameMap { renames });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subword_isa::instr::MmxOperand;
+    use subword_isa::mem::Mem;
+    use subword_isa::op::MmxOp;
+    use subword_isa::reg::MmReg::*;
+    use subword_spu::ByteRoute;
+
+    fn any_route() -> ByteRoute {
+        ByteRoute::identity(MM0)
+    }
+
+    fn load(dst: MmReg) -> Instr {
+        Instr::MovqLoad { dst, addr: Mem::abs(0) }
+    }
+
+    fn padd(dst: MmReg, src: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Paddw, dst, src: MmxOperand::Reg(src) }
+    }
+
+    fn movq(dst: MmReg, src: MmReg) -> Instr {
+        Instr::Mmx { op: MmxOp::Movq, dst, src: MmxOperand::Reg(src) }
+    }
+
+    fn store(src: MmReg) -> Instr {
+        Instr::MovqStore { addr: Mem::abs(0x100), src }
+    }
+
+    #[test]
+    fn rename_map_applies_simultaneously_and_range_scoped() {
+        let map = RenameMap {
+            renames: vec![
+                RegRename { from: MM0, to: MM1, start: 0, end: 1 },
+                RegRename { from: MM1, to: MM0, start: 0, end: 1 },
+            ],
+        };
+        // A swap does not cascade: mm0→mm1 and mm1→mm0 at once.
+        assert_eq!(map.apply(0, &padd(MM0, MM1)), padd(MM1, MM0));
+        // Outside the range nothing renames.
+        assert_eq!(map.apply(2, &padd(MM0, MM1)), padd(MM0, MM1));
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+        assert!(RenameMap::identity().is_empty());
+    }
+
+    #[test]
+    fn webs_split_on_pure_defs_and_merge_on_rmw() {
+        // mm1: def at 0, RMW at 1, use at 2 — one web. A second pure def
+        // at 3 opens a fresh web.
+        let body = vec![load(MM1), padd(MM1, MM7), store(MM1), load(MM1), store(MM1)];
+        let webs = build_webs(&body, 1 << 7).unwrap();
+        let mm1: Vec<_> = webs.iter().filter(|w| w.reg == 1).collect();
+        assert_eq!(mm1.len(), 2);
+        assert_eq!((mm1[0].start, mm1[0].end), (0, 2));
+        assert_eq!((mm1[1].start, mm1[1].end), (3, 4));
+    }
+
+    #[test]
+    fn use_before_def_of_a_non_pinned_register_bails() {
+        // mm2 is read at 0 with no def and no pin: inconsistent input.
+        let body = vec![padd(MM3, MM2), load(MM3)];
+        assert!(build_webs(&body, 1 << 3).is_none());
+    }
+
+    #[test]
+    fn compact_coalesces_disjoint_ranges_into_a_window() {
+        // Two routed values in mm0 and mm6 (disjoint from nothing — they
+        // overlap each other), plus a pinned routed mm7: the only window
+        // holding mm7 is 4..8, so both webs must move into {4,5,6}.
+        let body = vec![
+            load(MM0),      // 0: web A (mm0)
+            load(MM6),      // 1: web B (mm6)
+            movq(MM1, MM0), // 2: deleted copy (mm1 web, mm0 use)
+            padd(MM5, MM1), // 3: consumer — route reads mm0
+            movq(MM2, MM6), // 4: deleted copy
+            padd(MM5, MM2), // 5: consumer — route reads mm6
+            Instr::Nop,     // 6: back edge stand-in
+        ];
+        let pinned: MmMask = (1 << 5) | (1 << 7); // accumulator + zero reg
+        let sited = vec![
+            SitedRoute {
+                pos: 3,
+                hop: 2,
+                route: any_route(),
+                sources: vec![
+                    crate::pass::RouteSource { reg: 0, anchor: SourceAnchor::Def(0) },
+                    crate::pass::RouteSource { reg: 7, anchor: SourceAnchor::LiveIn },
+                ],
+            },
+            SitedRoute {
+                pos: 5,
+                hop: 4,
+                route: any_route(),
+                sources: vec![crate::pass::RouteSource { reg: 6, anchor: SourceAnchor::Def(1) }],
+            },
+        ];
+        let map = compact(&body, &sited, pinned, 4).unwrap();
+        let renamed = map.apply_body(&body);
+        // mm0's web must land in {4, 6} (mm5 pinned, mm7 pinned); mm6 may
+        // stay. Check the renamed loads express the window.
+        let dsts: Vec<usize> = renamed
+            .iter()
+            .filter_map(|i| match i {
+                Instr::MovqLoad { dst, .. } => Some(dst.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dsts.len(), 2);
+        for d in &dsts {
+            assert!((4..8).contains(d) && *d != 5 && *d != 7, "dst mm{d} outside window slots");
+        }
+        // The copy sources follow their webs.
+        assert!(
+            matches!(renamed[2], Instr::Mmx { src: MmxOperand::Reg(r), .. } if r.index() == dsts[0])
+        );
+        assert!(
+            matches!(renamed[4], Instr::Mmx { src: MmxOperand::Reg(r), .. } if r.index() == dsts[1])
+        );
+    }
+
+    #[test]
+    fn compact_refuses_unattachable_sources() {
+        let body = vec![load(MM0), padd(MM5, MM0), Instr::Nop];
+        // A live-in source on a non-pinned register cannot be renamed.
+        let sited = vec![SitedRoute {
+            pos: 1,
+            hop: 0,
+            route: any_route(),
+            sources: vec![crate::pass::RouteSource { reg: 3, anchor: SourceAnchor::LiveIn }],
+        }];
+        assert!(compact(&body, &sited, 1 << 5, 4).is_none());
+        // A pinned span wider than the window has no placement at all.
+        let sited = vec![SitedRoute {
+            pos: 1,
+            hop: 0,
+            route: any_route(),
+            sources: vec![
+                crate::pass::RouteSource { reg: 0, anchor: SourceAnchor::LiveIn },
+                crate::pass::RouteSource { reg: 7, anchor: SourceAnchor::LiveIn },
+            ],
+        }];
+        assert!(compact(&body, &sited, (1 << 0) | (1 << 7) | (1 << 5), 4).is_none());
+    }
+}

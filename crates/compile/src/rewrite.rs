@@ -54,6 +54,15 @@ pub(crate) fn rewrite(
         plans.iter().flat_map(|p| p.removal.iter().map(move |off| p.head + off)).collect();
     let go_at: HashMap<usize, &LoopPlan> = plans.iter().map(|p| (p.head, p)).collect();
 
+    // Transformed loop bodies are emitted from the plan's own body — the
+    // register-compacted one when the compaction pass renamed live
+    // ranges, byte-identical to the source otherwise.
+    let planned_body: HashMap<usize, subword_isa::Instr> = plans
+        .iter()
+        .flat_map(|p| p.body.iter().enumerate().map(move |(off, ins)| (p.head + off, *ins)))
+        .collect();
+    let instr_at = |i: usize| planned_body.get(&i).copied().unwrap_or(program.instrs[i]);
+
     // Positions of old labels, grouped.
     let mut labels_at: HashMap<usize, Vec<u32>> = HashMap::new();
     for id in 0..program.label_count() {
@@ -100,7 +109,7 @@ pub(crate) fn rewrite(
                 let body_len = plan.routes.len() + plan.removal.len();
                 let kept: Vec<usize> = (i..i + body_len).filter(|g| !deleted.contains(g)).collect();
                 for &k in &plan.order {
-                    b.raw(remap(&program.instrs[kept[k]]));
+                    b.raw(remap(&instr_at(kept[k])));
                 }
                 // Only boundary positions are consumed downstream (loop
                 // metadata remap): the head maps to the first emitted
@@ -118,7 +127,7 @@ pub(crate) fn rewrite(
         }
         old_to_new[i] = b.here();
         if !deleted.contains(&i) {
-            b.raw(remap(&program.instrs[i]));
+            b.raw(remap(&instr_at(i)));
         }
         i += 1;
     }

@@ -22,7 +22,7 @@ use subword_isa::ProgramBuilder;
 use subword_kernels::framework::KernelBuild;
 use subword_kernels::suite::{all_suites, dotprod_example};
 use subword_sim::{Machine, MachineConfig};
-use subword_spu::{SHAPE_A, SHAPE_D};
+use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_D};
 
 fn mm(i: u8) -> MmReg {
     MmReg::from_index(i as usize & 7).unwrap()
@@ -192,7 +192,7 @@ proptest! {
 fn suite_scheduled_variants_are_bit_identical_and_never_slower() {
     let mut entries = all_suites();
     entries.push(dotprod_example());
-    for shape in [SHAPE_A, SHAPE_D] {
+    for shape in [SHAPE_A, SHAPE_B, SHAPE_D] {
         for e in &entries {
             let name = e.kernel.name();
             let build = e.kernel.build(e.blocks_small);

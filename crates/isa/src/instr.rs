@@ -431,6 +431,32 @@ impl Instr {
         }
     }
 
+    /// Rewrite every MMX register operand through `f`, leaving scalar
+    /// registers, memory operands and immediates untouched. The
+    /// substitution is simultaneous: each operand is mapped from its
+    /// *original* register, so a swap (`mm0 → mm1`, `mm1 → mm0`) never
+    /// cascades. This is the primitive the compiler's live-range register
+    /// compaction pass renames loop bodies with.
+    pub fn map_mm_regs(&self, f: impl Fn(MmReg) -> MmReg) -> Instr {
+        match *self {
+            Instr::Mmx { op, dst, src } => Instr::Mmx {
+                op,
+                dst: f(dst),
+                src: match src {
+                    MmxOperand::Reg(r) => MmxOperand::Reg(f(r)),
+                    other => other,
+                },
+            },
+            Instr::MovqLoad { dst, addr } => Instr::MovqLoad { dst: f(dst), addr },
+            Instr::MovqStore { addr, src } => Instr::MovqStore { addr, src: f(src) },
+            Instr::MovdLoad { dst, addr } => Instr::MovdLoad { dst: f(dst), addr },
+            Instr::MovdStore { addr, src } => Instr::MovdStore { addr, src: f(src) },
+            Instr::MovdToMm { dst, src } => Instr::MovdToMm { dst: f(dst), src },
+            Instr::MovdFromMm { dst, src } => Instr::MovdFromMm { dst, src: f(src) },
+            other => other,
+        }
+    }
+
     /// True if the instruction writes the flags register.
     pub fn writes_flags(&self) -> bool {
         matches!(self, Instr::Cmp { .. } | Instr::Test { .. })
@@ -596,6 +622,32 @@ mod tests {
         // mm and gp bit spaces never alias.
         assert!(!RegMask::of(RegRef::Mm(MM3)).intersects(RegMask::of(RegRef::Gp(R3))));
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![RegRef::Mm(MM0), RegRef::Gp(R9)]);
+    }
+
+    #[test]
+    fn map_mm_regs_substitutes_simultaneously() {
+        let swap = |r: MmReg| match r {
+            MM0 => MM1,
+            MM1 => MM0,
+            other => other,
+        };
+        let i = Instr::Mmx { op: MmxOp::Paddw, dst: MM0, src: MmxOperand::Reg(MM1) };
+        assert_eq!(
+            i.map_mm_regs(swap),
+            Instr::Mmx { op: MmxOp::Paddw, dst: MM1, src: MmxOperand::Reg(MM0) }
+        );
+        // Memory/immediate operands and GP halves stay put.
+        let ld = Instr::MovqLoad { dst: MM0, addr: Mem::base(R2) };
+        assert_eq!(ld.map_mm_regs(swap), Instr::MovqLoad { dst: MM1, addr: Mem::base(R2) });
+        let sh = Instr::Mmx { op: MmxOp::Psrlq, dst: MM1, src: MmxOperand::Imm(8) };
+        assert_eq!(
+            sh.map_mm_regs(swap),
+            Instr::Mmx { op: MmxOp::Psrlq, dst: MM0, src: MmxOperand::Imm(8) }
+        );
+        let gp = Instr::MovdFromMm { dst: R3, src: MM1 };
+        assert_eq!(gp.map_mm_regs(swap), Instr::MovdFromMm { dst: R3, src: MM0 });
+        let alu = Instr::Alu { op: AluOp::Sub, dst: R0, src: GpOperand::Imm(1) };
+        assert_eq!(alu.map_mm_regs(swap), alu);
     }
 
     #[test]

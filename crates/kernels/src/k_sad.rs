@@ -183,7 +183,7 @@ mod tests {
     use super::*;
     use crate::framework::measure;
     use subword_sim::{Machine, MachineConfig};
-    use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_D};
+    use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D};
 
     #[test]
     fn mmx_variant_matches_reference() {
@@ -209,20 +209,41 @@ mod tests {
     }
 
     #[test]
-    fn only_the_full_byte_crossbar_lifts_the_widening_network() {
-        // Shape A reaches the whole file at byte granularity: both
-        // pre-subtract copies and all four widening unpacks lift —
-        // 8 per row, 16 rows, 8 candidates.
-        let meas = measure(&Sad16x16, 2, 4, &SHAPE_A).unwrap();
-        assert_eq!(meas.offloaded_per_block(), 8 * 16 * 8);
-        assert!(meas.speedup() > 1.0, "SAD should speed up, got {:.3}", meas.speedup());
-        // The widening routes gather from five registers (mm4, mm5, mm7
-        // and the mm0/mm2 copy sources), so shape B's 4-register window
-        // degrades to the two pre-subtract copy elisions — which no
-        // longer cover the per-candidate SPU programming overhead. The
-        // 16-bit-port shapes C/D reject the byte interleaves outright
-        // and keep the same two whole-register copies.
-        for shape in [SHAPE_B, SHAPE_D] {
+    fn byte_crossbars_lift_the_widening_network_fully() {
+        // Shapes A *and* B lift the whole realignment network — both
+        // pre-subtract copies and all four widening unpacks, 8 per row,
+        // 16 rows, 8 candidates. The widening routes gather from five
+        // registers (mm4, mm5, mm7 and the mm0/mm2 copy sources), which
+        // used to degrade shape B's 4-register window to the two copy
+        // elisions; the live-range register compaction pass now renames
+        // the per-half cur/|diff| values into the mm4..mm7 window (the
+        // zero register mm7 and the accumulator mm6 are live across the
+        // loop and stay pinned), so the windowed byte crossbar lifts
+        // exactly what the full one does.
+        for shape in [SHAPE_A, SHAPE_B] {
+            let meas = measure(&Sad16x16, 2, 4, &shape).unwrap();
+            assert_eq!(meas.offloaded_per_block(), 8 * 16 * 8, "shape {}", shape.name);
+            assert!(
+                meas.speedup() > 1.0,
+                "shape {}: SAD should speed up, got {:.3}",
+                shape.name,
+                meas.speedup()
+            );
+        }
+        // Compaction only ran for the windowed shape.
+        let lifted = subword_compile::lift_permutes(&Sad16x16.build(2).program, &SHAPE_B).unwrap();
+        assert!(
+            lifted.report.loops.iter().any(|l| l.renamed_ranges > 0),
+            "shape B full lift requires renamed live ranges"
+        );
+        let lifted_a =
+            subword_compile::lift_permutes(&Sad16x16.build(2).program, &SHAPE_A).unwrap();
+        assert!(lifted_a.report.loops.iter().all(|l| l.renamed_ranges == 0));
+        // The 16-bit-port shapes C/D reject the byte interleaves
+        // outright (no renaming can re-align a byte-granular gather) and
+        // keep the two whole-register pre-subtract copies; the window no
+        // longer costs shape D anything relative to full-reach C.
+        for shape in [SHAPE_C, SHAPE_D] {
             let m = measure(&Sad16x16, 2, 4, &shape).unwrap();
             assert_eq!(m.offloaded_per_block(), 2 * 16 * 8, "shape {}", shape.name);
             assert!(

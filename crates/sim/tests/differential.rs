@@ -17,7 +17,7 @@ use subword_compile::lift_permutes;
 use subword_kernels::framework::KernelBuild;
 use subword_kernels::suite::{all_suites, dotprod_example, SuiteEntry};
 use subword_sim::{Machine, MachineConfig, SimStats};
-use subword_spu::{SHAPE_A, SHAPE_D};
+use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_D};
 
 fn full_suite() -> Vec<SuiteEntry> {
     let mut entries = all_suites();
@@ -59,12 +59,14 @@ fn baseline_suite_decoded_equals_reference() {
     }
 }
 
-/// SPU-lifted variants under shapes A and D: the runs route operands
+/// SPU-lifted variants under shapes A, B and D: the runs route operands
 /// through the crossbar, so the dynamic (mask-based) pairing and
-/// scoreboard paths are exercised, not just the static fast path.
+/// scoreboard paths are exercised, not just the static fast path. Shape
+/// B exercises the register-compacted lifts (SAD's renamed widening
+/// network) end to end on both engines.
 #[test]
 fn spu_suite_decoded_equals_reference() {
-    for shape in [SHAPE_A, SHAPE_D] {
+    for shape in [SHAPE_A, SHAPE_B, SHAPE_D] {
         for e in full_suite() {
             let base = e.kernel.build(e.blocks_small);
             let lifted = lift_permutes(&base.program, &shape)

@@ -147,25 +147,56 @@ impl SpuProgram {
         self.states.iter().filter(|(_, s)| s.routes_anything()).count()
     }
 
+    /// The register span `(lo, hi)` covered by every route in the
+    /// program, or `None` when no state routes anything.
+    pub fn route_reg_span(&self) -> Option<(u8, u8)> {
+        let mut span: Option<(u8, u8)> = None;
+        for (_, s) in &self.states {
+            for route in [s.route_a, s.route_b].into_iter().flatten() {
+                let (base, regs) = route.reg_span();
+                let (lo, hi) = span.unwrap_or((base, base + regs - 1));
+                span = Some((lo.min(base), hi.max(base + regs - 1)));
+            }
+        }
+        span
+    }
+
+    /// The window base register under which every route in this program
+    /// falls inside `shape`'s register window, computed directly from the
+    /// routes' register span — `None` when the span exceeds the window.
+    /// This is the single definition of the window-base search: the
+    /// lifting pass and [`SpuProgram::minimal_shape`] both place windows
+    /// through it (a span that fits has a base iff any base validates, so
+    /// the closed form is equivalent to trying every base). The returned
+    /// base does not imply the routes are otherwise expressible — 16-bit
+    /// port alignment is a separate, base-independent check that
+    /// [`SpuProgram::validate`] still performs.
+    pub fn fit_window(&self, shape: &CrossbarShape) -> Option<u8> {
+        if shape.full_reach() {
+            return Some(0);
+        }
+        let regs = shape.window_regs() as u8;
+        let Some((lo, hi)) = self.route_reg_span() else {
+            return Some(0); // nothing routed: any base works
+        };
+        if hi - lo + 1 > regs {
+            return None;
+        }
+        // Lowest base whose window [base, base+regs) still covers `hi`.
+        Some((hi + 1).saturating_sub(regs).min(lo))
+    }
+
     /// The smallest canonical crossbar shape (searching D, C, B, A in
     /// increasing cost order) that can express every route in this
     /// program, along with a window base that works, if any.
     pub fn minimal_shape(&self) -> Option<(CrossbarShape, u8)> {
         use crate::crossbar::{SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D};
         for shape in [SHAPE_D, SHAPE_C, SHAPE_B, SHAPE_A] {
-            if shape.full_reach() {
-                if self.validate(&shape).is_ok() {
-                    return Some((shape, 0));
-                }
-            } else {
-                let max_base = 8 - shape.window_regs() as u8;
-                for base in 0..=max_base {
-                    let mut candidate = self.clone();
-                    candidate.window_base = base;
-                    if candidate.validate(&shape).is_ok() {
-                        return Some((shape, base));
-                    }
-                }
+            let Some(base) = self.fit_window(&shape) else { continue };
+            let mut candidate = self.clone();
+            candidate.window_base = base;
+            if candidate.validate(&shape).is_ok() {
+                return Some((shape, base));
             }
         }
         None
@@ -288,6 +319,35 @@ mod tests {
         let p = SpuProgram::single_loop("wide", &[(Some(r), None)], 1);
         let (shape, _) = p.minimal_shape().unwrap();
         assert_eq!(shape.name, "C");
+    }
+
+    #[test]
+    fn fit_window_places_the_span_from_the_routes() {
+        use crate::crossbar::SHAPE_B;
+        // Routes over mm4..mm7: the only 4-register window is base 4.
+        let r = ByteRoute::from_reg_words([(MM4, 0), (MM5, 0), (MM6, 0), (MM7, 0)]);
+        let p = SpuProgram::single_loop("w", &[(Some(r), None)], 1);
+        assert_eq!(p.route_reg_span(), Some((4, 7)));
+        assert_eq!(p.fit_window(&SHAPE_D), Some(4));
+        // A one-register route sits at its own base (clamped to cover hi).
+        let one = ByteRoute::identity(MM2);
+        let p1 = SpuProgram::single_loop("one", &[(Some(one), None)], 1);
+        assert_eq!(p1.fit_window(&SHAPE_D), Some(0));
+        // Span wider than the window: no base exists.
+        let wide = ByteRoute::from_reg_words([(MM0, 0), (MM7, 0), (MM3, 0), (MM5, 0)]);
+        let pw = SpuProgram::single_loop("wide", &[(Some(wide), None)], 1);
+        assert_eq!(pw.fit_window(&SHAPE_D), None);
+        assert_eq!(pw.fit_window(&SHAPE_B), None);
+        // Full-reach shapes never need a window; routeless programs fit
+        // anywhere.
+        assert_eq!(pw.fit_window(&SHAPE_A), Some(0));
+        let idle = SpuProgram::single_loop("idle", &[(None, None)], 1);
+        assert_eq!(idle.route_reg_span(), None);
+        assert_eq!(idle.fit_window(&SHAPE_D), Some(0));
+        // The computed base always validates when one exists at all.
+        let mut placed = p.clone();
+        placed.window_base = p.fit_window(&SHAPE_D).unwrap();
+        assert!(placed.validate(&SHAPE_D).is_ok());
     }
 
     #[test]

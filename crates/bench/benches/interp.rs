@@ -1,13 +1,13 @@
 //! Interpreter-throughput micro-benchmark over the kernel suite.
 //!
 //! Runs every suite kernel (baseline MMX program and the SPU-lifted
-//! variant under shape D) through **both** hazard engines — the
-//! predecoded mask-based fast path (`Machine::run`) and the allocating
-//! `Vec<RegRef>` reference path (`Machine::run_reference`) — timing only
-//! the interpreter itself (machine construction and state initialisation
-//! are outside the clock). Each row reports dynamic instructions, the
-//! best-of-N wall time per engine, simulated MIPS, and the decoded/
-//! reference speedup; the engines' `SimStats` are also asserted equal, so
+//! variant under shape D) through **all three** execution engines — the
+//! allocating `Vec<RegRef>` reference path, the predecoded mask-based
+//! stepper, and the trace-translated threaded engine — timing only the
+//! interpreter itself (machine construction and state initialisation are
+//! outside the clock). Each row reports dynamic instructions, the
+//! best-of-N wall time per engine, simulated MIPS, and the threaded/
+//! decoded speedup; the engines' `SimStats` are also asserted equal, so
 //! the benchmark doubles as a smoke differential.
 //!
 //! ```text
@@ -19,8 +19,9 @@
 //! `--save` writes the machine-readable baseline committed at the repo
 //! root; `--baseline` loads such a file and prints current-vs-baseline
 //! deltas. A missing, unreadable or schema-mismatched baseline file is a
-//! **hard error** (non-zero exit): a comparison that silently skips
-//! itself reads as "no regression" in a CI log. The CI throughput step
+//! **hard error** (non-zero exit) — and so is a baseline row that lacks
+//! any engine's timing column (a comparison that silently skips an
+//! engine reads as "no regression" in a CI log). The CI throughput step
 //! stays non-gating via `continue-on-error`, not by swallowing errors
 //! here.
 
@@ -30,40 +31,45 @@ use subword_compile::lift_permutes;
 use subword_isa::program::Program;
 use subword_kernels::framework::KernelBuild;
 use subword_kernels::suite::{all_suites, dotprod_example};
-use subword_sim::{Machine, MachineConfig, SimStats};
+use subword_sim::{ExecEngine, Machine, MachineConfig, SimStats};
 use subword_spu::SHAPE_D;
 
 const REPS: usize = 5;
+
+/// The engines a benchmark row (and a baseline row) must cover, with
+/// their JSON column names.
+const ENGINES: [(ExecEngine, &str); 3] = [
+    (ExecEngine::Reference, "reference_nanos"),
+    (ExecEngine::Decoded, "decoded_nanos"),
+    (ExecEngine::Threaded, "threaded_nanos"),
+];
 
 struct Row {
     kernel: &'static str,
     variant: &'static str,
     instructions: u64,
-    decoded_nanos: u64,
-    reference_nanos: u64,
+    /// Best-of-N wall nanos, indexed like [`ENGINES`].
+    nanos: [u64; 3],
 }
 
 impl Row {
-    fn decoded_mips(&self) -> f64 {
-        self.instructions as f64 / (self.decoded_nanos.max(1) as f64 / 1e9) / 1e6
+    fn mips_of(&self, engine_idx: usize) -> f64 {
+        mips(self.instructions, self.nanos[engine_idx])
     }
 
-    fn reference_mips(&self) -> f64 {
-        self.instructions as f64 / (self.reference_nanos.max(1) as f64 / 1e9) / 1e6
-    }
-
+    /// Threaded speedup over the decoded stepper.
     fn speedup(&self) -> f64 {
-        self.reference_nanos as f64 / self.decoded_nanos.max(1) as f64
+        self.nanos[1] as f64 / self.nanos[2].max(1) as f64
     }
 }
 
 /// Best-of-N interpreter wall time for one build on one engine; returns
 /// the stats of the last run for cross-engine comparison.
-fn time_engine(build: &KernelBuild, cfg: &MachineConfig, reference: bool) -> (u64, SimStats) {
+fn time_engine(build: &KernelBuild, cfg: &MachineConfig, engine: ExecEngine) -> (u64, SimStats) {
     let mut best = u64::MAX;
     let mut stats = SimStats::default();
     for _ in 0..REPS {
-        let mut m = Machine::new(cfg.clone());
+        let mut m = Machine::new(MachineConfig { engine, ..cfg.clone() });
         for (addr, bytes) in &build.setup.mem_init {
             m.mem.write_bytes(*addr, bytes).expect("init in bounds");
         }
@@ -74,11 +80,7 @@ fn time_engine(build: &KernelBuild, cfg: &MachineConfig, reference: bool) -> (u6
             m.regs.write_mm(*r, *v);
         }
         let t = Instant::now();
-        stats = if reference {
-            m.run_reference(&build.program).expect("kernel runs")
-        } else {
-            m.run(&build.program).expect("kernel runs")
-        };
+        stats = m.run(&build.program).expect("kernel runs");
         best = best.min(t.elapsed().as_nanos() as u64);
         build.check(&m, "bench").expect("golden outputs");
     }
@@ -91,16 +93,14 @@ fn bench_build(
     build: &KernelBuild,
     cfg: &MachineConfig,
 ) -> Row {
-    let (decoded_nanos, decoded_stats) = time_engine(build, cfg, false);
-    let (reference_nanos, reference_stats) = time_engine(build, cfg, true);
-    assert_eq!(decoded_stats, reference_stats, "hazard engines diverge on {kernel}/{variant}");
-    Row {
-        kernel,
-        variant,
-        instructions: decoded_stats.instructions,
-        decoded_nanos,
-        reference_nanos,
+    let mut nanos = [0u64; 3];
+    let mut stats = [SimStats::default(); 3];
+    for (k, (engine, _)) in ENGINES.iter().enumerate() {
+        (nanos[k], stats[k]) = time_engine(build, cfg, *engine);
     }
+    assert_eq!(stats[0], stats[1], "decoded diverges from reference on {kernel}/{variant}");
+    assert_eq!(stats[0], stats[2], "threaded diverges from reference on {kernel}/{variant}");
+    Row { kernel, variant, instructions: stats[0].instructions, nanos }
 }
 
 fn suite_rows() -> Vec<Row> {
@@ -126,66 +126,85 @@ fn suite_rows() -> Vec<Row> {
 }
 
 fn to_json(rows: &[Row]) -> Json {
-    let (ti, td, tr) = totals(rows);
+    let (ti, tn) = totals(rows);
+    let engine_fields = |nanos: &[u64; 3]| {
+        ENGINES
+            .iter()
+            .enumerate()
+            .map(|(k, (_, col))| ((*col).into(), Json::UInt(nanos[k])))
+            .collect::<Vec<_>>()
+    };
     Json::Obj(vec![
-        ("schema".into(), Json::Str("subword-bench-sim/v1".into())),
+        ("schema".into(), Json::Str("subword-bench-sim/v2".into())),
         (
             "rows".into(),
             Json::Arr(
                 rows.iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        let mut fields = vec![
                             ("kernel".into(), Json::Str(r.kernel.into())),
                             ("variant".into(), Json::Str(r.variant.into())),
                             ("instructions".into(), Json::UInt(r.instructions)),
-                            ("decoded_nanos".into(), Json::UInt(r.decoded_nanos)),
-                            ("reference_nanos".into(), Json::UInt(r.reference_nanos)),
-                        ])
+                        ];
+                        fields.extend(engine_fields(&r.nanos));
+                        Json::Obj(fields)
                     })
                     .collect(),
             ),
         ),
         (
             "totals".into(),
-            Json::Obj(vec![
-                ("instructions".into(), Json::UInt(ti)),
-                ("decoded_nanos".into(), Json::UInt(td)),
-                ("reference_nanos".into(), Json::UInt(tr)),
-            ]),
+            Json::Obj(
+                std::iter::once(("instructions".into(), Json::UInt(ti)))
+                    .chain(engine_fields(&tn))
+                    .collect(),
+            ),
         ),
     ])
 }
 
-fn totals(rows: &[Row]) -> (u64, u64, u64) {
-    (
-        rows.iter().map(|r| r.instructions).sum(),
-        rows.iter().map(|r| r.decoded_nanos).sum(),
-        rows.iter().map(|r| r.reference_nanos).sum(),
-    )
+fn totals(rows: &[Row]) -> (u64, [u64; 3]) {
+    let mut tn = [0u64; 3];
+    for r in rows {
+        for (total, nanos) in tn.iter_mut().zip(r.nanos) {
+            *total += nanos;
+        }
+    }
+    (rows.iter().map(|r| r.instructions).sum(), tn)
 }
 
 fn mips(instructions: u64, nanos: u64) -> f64 {
     instructions as f64 / (nanos.max(1) as f64 / 1e9) / 1e6
 }
 
-/// Baseline decoded-MIPS per (kernel, variant) from a saved report.
-fn baseline_mips(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+/// Baseline per-engine MIPS per (kernel, variant) from a saved report.
+/// Every row must carry **all** engine columns — missing engine coverage
+/// is an error, not a skip.
+fn baseline_mips(doc: &Json) -> Result<Vec<(String, [f64; 3])>, String> {
     let schema = doc.field("schema")?.as_str()?;
-    if schema != "subword-bench-sim/v1" {
-        return Err(format!("unsupported schema `{schema}`"));
+    if schema != "subword-bench-sim/v2" {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected subword-bench-sim/v2; \
+             regenerate with --save)"
+        ));
     }
+    let engine_mips = |obj: &Json, instructions: u64| -> Result<[f64; 3], String> {
+        let mut out = [0f64; 3];
+        for (k, (_, col)) in ENGINES.iter().enumerate() {
+            let nanos =
+                obj.field(col).map_err(|e| format!("missing engine coverage: {e}"))?.as_u64()?;
+            out[k] = mips(instructions, nanos);
+        }
+        Ok(out)
+    };
     let mut out = Vec::new();
     for row in doc.field("rows")?.as_arr()? {
         let key = format!("{}/{}", row.field("kernel")?.as_str()?, row.field("variant")?.as_str()?);
         let instructions = row.field("instructions")?.as_u64()?;
-        let nanos = row.field("decoded_nanos")?.as_u64()?;
-        out.push((key, mips(instructions, nanos)));
+        out.push((key, engine_mips(row, instructions)?));
     }
     let t = doc.field("totals")?;
-    out.push((
-        "TOTAL".into(),
-        mips(t.field("instructions")?.as_u64()?, t.field("decoded_nanos")?.as_u64()?),
-    ));
+    out.push(("TOTAL".into(), engine_mips(t, t.field("instructions")?.as_u64()?)?));
     Ok(out)
 }
 
@@ -212,29 +231,31 @@ fn main() {
 
     let rows = suite_rows();
     println!(
-        "{:<10} {:<4} {:>12} {:>10} {:>10} {:>8}",
-        "kernel", "var", "instructions", "dec MIPS", "ref MIPS", "speedup"
+        "{:<10} {:<4} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "kernel", "var", "instructions", "ref MIPS", "dec MIPS", "thr MIPS", "thr/dec"
     );
     for r in &rows {
         println!(
-            "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>7.2}x",
+            "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x",
             r.kernel,
             r.variant,
             r.instructions,
-            r.decoded_mips(),
-            r.reference_mips(),
+            r.mips_of(0),
+            r.mips_of(1),
+            r.mips_of(2),
             r.speedup()
         );
     }
-    let (ti, td, tr) = totals(&rows);
+    let (ti, tn) = totals(&rows);
     println!(
-        "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>7.2}x",
+        "{:<10} {:<4} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x",
         "TOTAL",
         "",
         ti,
-        mips(ti, td),
-        mips(ti, tr),
-        tr as f64 / td.max(1) as f64
+        mips(ti, tn[0]),
+        mips(ti, tn[1]),
+        mips(ti, tn[2]),
+        tn[1] as f64 / tn[2].max(1) as f64
     );
 
     if let Some(path) = value_of("--baseline") {
@@ -244,17 +265,18 @@ fn main() {
             .and_then(|doc| baseline_mips(&doc))
         {
             Ok(base) => {
-                println!("\nagainst baseline {path} (decoded MIPS, current / baseline):");
+                println!("\nagainst baseline {path} (threaded MIPS, current / baseline):");
                 let current: Vec<(String, f64)> = rows
                     .iter()
-                    .map(|r| (format!("{}/{}", r.kernel, r.variant), r.decoded_mips()))
-                    .chain([("TOTAL".to_string(), mips(ti, td))])
+                    .map(|r| (format!("{}/{}", r.kernel, r.variant), r.mips_of(2)))
+                    .chain([("TOTAL".to_string(), mips(ti, tn[2]))])
                     .collect();
                 for (key, now) in &current {
                     match base.iter().find(|(k, _)| k == key) {
                         Some((_, then)) => println!(
-                            "{key:<16} {now:>10.2} / {then:<10.2} ({:+.1}%)",
-                            100.0 * (now - then) / then.max(1e-9)
+                            "{key:<16} {now:>10.2} / {:<10.2} ({:+.1}%)",
+                            then[2],
+                            100.0 * (now - then[2]) / then[2].max(1e-9)
                         ),
                         None => println!("{key:<16} {now:>10.2} / (not in baseline)"),
                     }

@@ -272,9 +272,11 @@ fn main() {
         stats.stale_fallbacks,
     );
     eprintln!(
-        "sweep: simulated {} instructions at {:.2} MIPS (in-simulator time, summed over workers)",
+        "sweep: simulated {} instructions at {:.2} MIPS on the {:?} engine \
+         (in-simulator time, summed over workers)",
         report.total_sim_instructions(),
         report.sim_ips() / 1e6,
+        cfg.base.engine,
     );
     eprintln!("\nscheduling report (per-block, scheduled vs. unscheduled):");
     eprintln!("{}", sched_table(report));

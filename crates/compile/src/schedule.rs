@@ -17,6 +17,14 @@
 //! no second, scheduler-private notion of a hazard: if the simulator
 //! would stall or refuse to pair, the scheduler sees exactly that.
 //!
+//! **One issue-timing model, too.** The cost replay, the scoreboard
+//! arithmetic, the region partition and the MMIO-barrier predicate all
+//! come from [`subword_sim::issue`] — the same module the simulator's
+//! slot loop and trace translator consume. The scheduler holds no
+//! private copy of any issue rule: [`replay_order`] *is* the static
+//! replay, [`regions_of`] *is* the region partition, and the greedy
+//! list scheduler below walks the same [`IssueRules`] forward.
+//!
 //! **Dependence edges** (from earlier instruction `a` to later `b`):
 //!
 //! * register RAW / WAR / WAW on the union of MMX and GP files, with
@@ -53,10 +61,11 @@
 
 use subword_isa::instr::{Instr, RegMask};
 use subword_isa::program::Program;
+use subword_sim::issue::{
+    is_mmio_barrier, regions_of, replay_order, IssueOp, IssueRules, RegionKind, ReplayCost, SlotOp,
+};
 use subword_sim::pipeline::{can_pair, effective_read_mask};
-use subword_sim::MachineConfig;
 use subword_spu::controller::StepRouting;
-use subword_spu::mmio::in_mmio_range;
 
 /// Iterations replayed when estimating a loop body's steady-state cost
 /// (first iteration is warm-up: it seeds the scoreboard carry-over).
@@ -110,9 +119,9 @@ struct Node {
     reads_flags: bool,
     mem: bool,
     load: bool,
-    /// `Some(dst index)` for MMX multiplies (pipelined result latency).
-    mmx_mul_dst: Option<usize>,
-    scalar_mul: bool,
+    /// Issue metadata (effective MMX reads, latency classes) — the same
+    /// [`IssueOp`] the simulator's replay consumes.
+    op: IssueOp,
 }
 
 impl Node {
@@ -124,11 +133,7 @@ impl Node {
             reads_flags: instr.reads_flags(),
             mem: instr.is_mem_access(),
             load: instr.is_load(),
-            mmx_mul_dst: match (instr.is_mmx_multiply(), &instr) {
-                (true, Instr::Mmx { dst, .. }) => Some(dst.index()),
-                _ => None,
-            },
-            scalar_mul: instr.is_scalar_multiply(),
+            op: IssueOp::of(&instr, &routing),
             instr,
             routing,
         }
@@ -155,196 +160,96 @@ impl Node {
 
     /// Earliest cycle the scoreboard lets this node issue.
     fn ready_at(&self, mm_ready: &[u64; 8]) -> u64 {
-        let mut mm = self.reads.mm;
-        let mut t = 0;
-        while mm != 0 {
-            t = t.max(mm_ready[mm.trailing_zeros() as usize]);
-            mm &= mm - 1;
-        }
-        t
+        IssueRules::operand_ready(self.op.mm_reads, mm_ready)
     }
 }
 
-/// A statically identifiable SPU MMIO access. The rewriter only ever
-/// emits MMIO traffic with absolute addressing (`Mem::abs`), so this is
-/// exact for compiler-generated programs; hand-written programs that
-/// compute an MMIO address in a register are outside this pass's
-/// contract (see the module docs).
-fn is_mmio_barrier(i: &Instr) -> bool {
-    i.mem_operand().is_some_and(|m| m.regs().next().is_none() && in_mmio_range(m.disp as u32))
+/// Strictly cheaper: fewer cycles, or equal cycles with fewer
+/// single-issue slots.
+fn beats(a: &ReplayCost, b: &ReplayCost) -> bool {
+    (a.cycles, a.singles) < (b.cycles, b.singles)
 }
 
-/// Issue-model cost of one order: a static replay of the machine's slot
-/// loop (pairing + scoreboard + blocking scalar multiplies).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Cost {
-    cycles: u64,
-    pairs: u64,
-    singles: u64,
-}
-
-impl Cost {
-    /// Strictly cheaper: fewer cycles, or equal cycles with fewer
-    /// single-issue slots.
-    fn beats(&self, other: &Cost) -> bool {
-        (self.cycles, self.singles) < (other.cycles, other.singles)
-    }
-}
-
-/// Machine parameters the issue model replays. Taken from the default
-/// [`MachineConfig`]; sensitivity sweeps that vary latencies still get a
-/// legal (just possibly non-optimal) order.
-struct IssueModel {
-    mmx_mul_latency: u64,
-    scalar_mul_latency: u64,
-}
-
-impl IssueModel {
-    fn new() -> IssueModel {
-        let cfg = MachineConfig::default();
-        IssueModel {
-            mmx_mul_latency: cfg.mmx_mul_latency,
-            scalar_mul_latency: cfg.scalar_mul_latency,
-        }
-    }
-
-    /// Replay `order` over `nodes` exactly as `Machine::run` issues a
-    /// straight-line stretch. `looped` replays several iterations with
-    /// scoreboard carry-over and reports the post-warm-up cost. Also
-    /// returns the exit state — final cycle and absolute scoreboard —
-    /// for the cross-boundary dominance check in [`schedule_block`].
-    fn estimate(&self, nodes: &[Node], order: &[usize], looped: bool) -> (Cost, u64, [u64; 8]) {
-        let iters = if looped { LOOP_EST_ITERS } else { 1 };
-        let measure_from = if looped { 1 } else { 0 };
-        let mut cycle = 0u64;
-        let mut mm_ready = [0u64; 8];
-        let mut cost = Cost { cycles: 0, pairs: 0, singles: 0 };
-        for it in 0..iters {
-            let iter_start = cycle;
-            let mut pairs = 0u64;
-            let mut singles = 0u64;
-            let mut k = 0;
-            while k < order.len() {
-                let u = &nodes[order[k]];
-                cycle = cycle.max(u.ready_at(&mm_ready));
-                let v = order.get(k + 1).map(|&j| &nodes[j]).filter(|v| {
-                    can_pair(&u.instr, &u.routing, &v.instr, &v.routing)
-                        && v.ready_at(&mm_ready) <= cycle
-                });
-                let mut slot_cycles = 1;
-                for x in [Some(u), v].into_iter().flatten() {
-                    if let Some(dst) = x.mmx_mul_dst {
-                        mm_ready[dst] = cycle + self.mmx_mul_latency;
-                    }
-                    if x.scalar_mul {
-                        slot_cycles = self.scalar_mul_latency;
-                    }
-                }
-                if v.is_some() {
-                    pairs += 1;
-                    k += 2;
-                } else {
-                    singles += 1;
-                    k += 1;
-                }
-                cycle += slot_cycles;
-            }
-            if it >= measure_from {
-                cost.cycles += cycle - iter_start;
-                cost.pairs += pairs;
-                cost.singles += singles;
+/// Greedy list scheduling of mutually orderable `nodes` (no
+/// branches/barriers): walk the issue rules forward, each slot choosing
+/// a U-pipe instruction that can issue soonest (preferring one with a
+/// legal V partner and the longest dependent chain), then the tallest
+/// legal V partner.
+fn greedy(rules: &IssueRules, nodes: &[Node]) -> Vec<usize> {
+    let n = nodes.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for b in 0..n {
+        for a in 0..b {
+            if nodes[a].must_precede(&nodes[b]) {
+                succs[a].push(b);
+                indeg[b] += 1;
             }
         }
-        (cost, cycle, mm_ready)
+    }
+    // Critical-path height, weighted by issue latency.
+    let mut height = vec![0u64; n];
+    for i in (0..n).rev() {
+        let lat = if nodes[i].op.mmx_mul_dst.is_some() {
+            rules.mmx_mul_latency
+        } else {
+            rules.slot_cycles(nodes[i].op.scalar_mul)
+        };
+        height[i] = lat + succs[i].iter().map(|&s| height[s]).max().unwrap_or(0);
     }
 
-    /// Greedy list scheduling of mutually orderable `nodes` (no
-    /// branches/barriers): walk the issue model forward, each slot
-    /// choosing a U-pipe instruction that can issue soonest (preferring
-    /// one with a legal V partner and the longest dependent chain), then
-    /// the tallest legal V partner.
-    fn greedy(&self, nodes: &[Node]) -> Vec<usize> {
-        let n = nodes.len();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut indeg = vec![0usize; n];
-        for b in 0..n {
-            for a in 0..b {
-                if nodes[a].must_precede(&nodes[b]) {
-                    succs[a].push(b);
-                    indeg[b] += 1;
-                }
-            }
-        }
-        // Critical-path height, weighted by issue latency.
-        let mut height = vec![0u64; n];
-        for i in (0..n).rev() {
-            let lat = if nodes[i].mmx_mul_dst.is_some() {
-                self.mmx_mul_latency
-            } else if nodes[i].scalar_mul {
-                self.scalar_mul_latency
-            } else {
-                1
-            };
-            height[i] = lat + succs[i].iter().map(|&s| height[s]).max().unwrap_or(0);
-        }
-
-        let mut avail: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        let mut cycle = 0u64;
-        let mut mm_ready = [0u64; 8];
-        while !avail.is_empty() {
-            // Available nodes are mutually independent (an edge between
-            // them would keep the dependent's indegree non-zero), so any
-            // legal (U, V) choice here is a legal adjacent pair.
-            let partner_for = |u: usize, at: u64| {
-                avail
-                    .iter()
-                    .copied()
-                    .filter(|&v| {
-                        v != u
-                            && nodes[v].ready_at(&mm_ready) <= at
-                            && can_pair(
-                                &nodes[u].instr,
-                                &nodes[u].routing,
-                                &nodes[v].instr,
-                                &nodes[v].routing,
-                            )
-                    })
-                    .min_by_key(|&v| (std::cmp::Reverse(height[v]), v))
-            };
-            let u = avail
+    let mut avail: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut cycle = 0u64;
+    let mut mm_ready = [0u64; 8];
+    while !avail.is_empty() {
+        // Available nodes are mutually independent (an edge between
+        // them would keep the dependent's indegree non-zero), so any
+        // legal (U, V) choice here is a legal adjacent pair.
+        let partner_for = |u: usize, at: u64| {
+            avail
                 .iter()
                 .copied()
-                .min_by_key(|&i| {
-                    let at = nodes[i].ready_at(&mm_ready).max(cycle);
-                    let stall = at - cycle;
-                    (stall, partner_for(i, at).is_none(), std::cmp::Reverse(height[i]), i)
+                .filter(|&v| {
+                    v != u
+                        && nodes[v].ready_at(&mm_ready) <= at
+                        && can_pair(
+                            &nodes[u].instr,
+                            &nodes[u].routing,
+                            &nodes[v].instr,
+                            &nodes[v].routing,
+                        )
                 })
-                .expect("avail is non-empty");
-            cycle = cycle.max(nodes[u].ready_at(&mm_ready));
-            let v = partner_for(u, cycle);
+                .min_by_key(|&v| (std::cmp::Reverse(height[v]), v))
+        };
+        let u = avail
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                let at = nodes[i].ready_at(&mm_ready).max(cycle);
+                let stall = at - cycle;
+                (stall, partner_for(i, at).is_none(), std::cmp::Reverse(height[i]), i)
+            })
+            .expect("avail is non-empty");
+        cycle = cycle.max(nodes[u].ready_at(&mm_ready));
+        let v = partner_for(u, cycle);
 
-            let mut slot_cycles = 1;
-            for &x in [Some(u), v].iter().flatten() {
-                if let Some(dst) = nodes[x].mmx_mul_dst {
-                    mm_ready[dst] = cycle + self.mmx_mul_latency;
-                }
-                if nodes[x].scalar_mul {
-                    slot_cycles = self.scalar_mul_latency;
-                }
-                order.push(x);
-                avail.retain(|&y| y != x);
-                for &s in &succs[x] {
-                    indeg[s] -= 1;
-                    if indeg[s] == 0 {
-                        avail.push(s);
-                    }
+        let mut slot_scalar_mul = false;
+        for &x in [Some(u), v].iter().flatten() {
+            rules.retire(&nodes[x].op, cycle, &mut mm_ready);
+            slot_scalar_mul |= nodes[x].op.scalar_mul;
+            order.push(x);
+            avail.retain(|&y| y != x);
+            for &s in &succs[x] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    avail.push(s);
                 }
             }
-            cycle += slot_cycles;
         }
-        order
+        cycle += rules.slot_cycles(slot_scalar_mul);
     }
+    order
 }
 
 /// Schedule one straight-line block. `routings[i]` is the SPU routing
@@ -378,14 +283,18 @@ pub fn schedule_block(instrs: &[Instr], routings: &[StepRouting], looped: bool) 
     }
 
     let nodes: Vec<Node> = instrs.iter().zip(routings).map(|(i, r)| Node::new(*i, *r)).collect();
-    let model = IssueModel::new();
-    let mut order = model.greedy(&nodes[..core]);
+    let rules = IssueRules::default_model();
+    let mut order = greedy(&rules, &nodes[..core]);
     if pinned_tail {
         order.push(n - 1);
     }
     debug_assert_eq!(order.len(), n);
-    let (sched_cost, sched_end, sched_ready) = model.estimate(&nodes, &order, looped);
-    let (orig_cost, orig_end, orig_ready) = model.estimate(&nodes, &identity, looped);
+    // Cost both orders with the *simulator's* straight-line replay.
+    let ops: Vec<SlotOp> = instrs.iter().zip(routings).map(|(i, r)| SlotOp::new(*i, *r)).collect();
+    let (sched_cost, sched_end, sched_ready) =
+        replay_order(&rules, &ops, &order, looped, LOOP_EST_ITERS);
+    let (orig_cost, orig_end, orig_ready) =
+        replay_order(&rules, &ops, &identity, looped, LOOP_EST_ITERS);
     // Cross-boundary dominance: the real scoreboard carries across
     // region boundaries, so besides being cheaper in-region the
     // scheduled order must not make *any* register available later
@@ -394,7 +303,7 @@ pub fn schedule_block(instrs: &[Instr], routings: &[StepRouting], looped: bool) 
     // Otherwise a multiply parked at the region's tail could stall the
     // following region by more than the in-region cycles it saved.
     let dominates = (0..8).all(|r| sched_ready[r].max(sched_end) <= orig_ready[r].max(orig_end));
-    if sched_cost.beats(&orig_cost) && dominates {
+    if beats(&sched_cost, &orig_cost) && dominates {
         order
     } else {
         identity
@@ -402,7 +311,7 @@ pub fn schedule_block(instrs: &[Instr], routings: &[StepRouting], looped: bool) 
 }
 
 /// A maximal schedulable region of a program.
-struct Region {
+struct SchedRegion {
     /// Half-open instruction range.
     start: usize,
     end: usize,
@@ -412,50 +321,20 @@ struct Region {
     frozen: bool,
 }
 
-/// Partition a program into straight-line regions (see the module docs
-/// for the boundary rules).
-fn regions_of(program: &Program, frozen: &[(usize, usize)]) -> Vec<Region> {
-    let n = program.instrs.len();
-    let mut starts = vec![false; n + 1];
-    for id in 0..program.label_count() {
-        if let Some(pos) = program.label_position(subword_isa::program::Label(id as u32)) {
-            starts[pos] = true;
-        }
-    }
-    for l in &program.loops {
-        starts[l.head] = true;
-    }
-
-    let mut regions = Vec::new();
-    let mut push = |start: usize, end: usize, looped: bool| {
-        if start < end {
-            let frozen = frozen.iter().any(|&(fs, fe)| start < fe && fs < end);
-            regions.push(Region { start, end, looped, frozen });
-        }
-    };
-    let mut s = 0;
-    let mut pc = 0;
-    while pc < n {
-        let i = &program.instrs[pc];
-        if is_mmio_barrier(i) {
-            push(s, pc, false);
-            // The barrier itself is a (frozen-in-place) singleton.
-            s = pc + 1;
-        } else if i.is_branch() || matches!(i, Instr::Halt) {
-            let looped = match i.branch_target() {
-                Some(t) => program.resolve(t) == s,
-                None => false,
-            };
-            push(s, pc + 1, looped);
-            s = pc + 1;
-        } else if pc + 1 < n && starts[pc + 1] {
-            push(s, pc + 1, false);
-            s = pc + 1;
-        }
-        pc += 1;
-    }
-    push(s, n, false);
-    regions
+/// The scheduler's view of the shared region partition
+/// ([`subword_sim::issue::regions_of`]): barrier singletons are dropped
+/// (frozen in place by construction) and caller-frozen ranges overlaid.
+fn sched_regions_of(program: &Program, frozen: &[(usize, usize)]) -> Vec<SchedRegion> {
+    regions_of(program)
+        .into_iter()
+        .filter(|r| r.kind != RegionKind::Barrier)
+        .map(|r| SchedRegion {
+            start: r.start,
+            end: r.end,
+            looped: r.kind == RegionKind::Loop,
+            frozen: frozen.iter().any(|&(fs, fe)| r.start < fe && fs < r.end),
+        })
+        .collect()
 }
 
 /// Schedule every straight-line region of `program` outside the
@@ -469,7 +348,7 @@ pub(crate) fn schedule_regions(
     let straight = StepRouting::default();
     let mut out = program.clone();
     let mut report = ScheduleReport::default();
-    for region in regions_of(program, frozen) {
+    for region in sched_regions_of(program, frozen) {
         if region.frozen {
             continue;
         }

@@ -163,6 +163,12 @@ impl DecodedInstr {
 #[derive(Clone, Debug)]
 pub struct DecodedProgram {
     meta: Vec<DecodedInstr>,
+    /// Whether **any** instruction is SPU-routable. When false, no
+    /// routing decision can change an operand fetch, a hazard mask or a
+    /// pairing verdict, so the slot loop skips the per-slot
+    /// `peek_routing_pair` walk entirely (a pure win on MMX-only
+    /// baselines; safe even with an active controller).
+    pub any_spu_routable: bool,
 }
 
 impl DecodedProgram {
@@ -176,7 +182,8 @@ impl DecodedProgram {
             meta[pc].pairable_next =
                 can_pair(&program.instrs[pc], &straight, &program.instrs[pc + 1], &straight);
         }
-        DecodedProgram { meta }
+        let any_spu_routable = meta.iter().any(|d| d.routable);
+        DecodedProgram { meta, any_spu_routable }
     }
 
     /// Metadata of the instruction at `pc`.

@@ -33,14 +33,16 @@
 pub mod branch;
 pub mod decode;
 pub mod error;
+pub mod issue;
 pub mod machine;
 pub mod memory;
 pub mod pipeline;
 pub mod regfile;
 pub mod stats;
 pub mod trace;
+pub mod translate;
 
 pub use error::SimError;
-pub use machine::{Machine, MachineConfig};
+pub use machine::{ExecEngine, Machine, MachineConfig};
 pub use memory::Memory;
 pub use stats::SimStats;

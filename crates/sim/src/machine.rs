@@ -4,6 +4,7 @@
 use crate::branch::{Predictor, PredictorKind};
 use crate::decode::{ClassFlags, DecodedInstr, DecodedProgram};
 use crate::error::SimError;
+use crate::issue::IssueRules;
 use crate::memory::Memory;
 use crate::pipeline::{can_pair, can_pair_ref, effective_read_mask, effective_reads};
 use crate::regfile::RegFile;
@@ -16,6 +17,24 @@ use subword_isa::Mem;
 use subword_spu::controller::{SpuController, StepRouting};
 use subword_spu::mmio::{in_mmio_range, SpuMmio};
 use subword_spu::CrossbarShape;
+
+/// Which execution engine [`Machine::run`] uses. All three must produce
+/// bit-identical [`SimStats`] and architectural state; the differential
+/// tests enforce this over the full kernel suite.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// The original allocating `Vec<RegRef>` path, kept as the oracle
+    /// ([`Machine::run_reference`]).
+    Reference,
+    /// Predecoded metadata + mask-based checks, stepped one slot at a
+    /// time ([`Machine::run_decoded`]).
+    Decoded,
+    /// Trace-translated: straight-line regions are lowered once into
+    /// pre-resolved issue traces and steady-state loop iterations replay
+    /// them ([`crate::translate`]).
+    #[default]
+    Threaded,
+}
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +61,8 @@ pub struct MachineConfig {
     /// Direction-predictor model (BTB = Pentium class; gshare exists for
     /// sensitivity analysis).
     pub predictor_kind: PredictorKind,
+    /// Execution engine [`Machine::run`] dispatches to.
+    pub engine: ExecEngine,
 }
 
 impl Default for MachineConfig {
@@ -57,6 +78,7 @@ impl Default for MachineConfig {
             max_cycles: 2_000_000_000,
             btb_entries: crate::branch::DEFAULT_BTB_ENTRIES,
             predictor_kind: PredictorKind::default(),
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -80,24 +102,34 @@ impl MachineConfig {
 
 /// Effect of executing one instruction (control-flow outcome).
 #[derive(Clone, Copy, Debug, Default)]
-struct ExecEffect {
+pub(crate) struct ExecEffect {
     /// `Some(target)` if a taken branch redirects fetch.
-    redirect: Option<usize>,
+    pub(crate) redirect: Option<usize>,
     /// `Some(taken)` if a branch executed.
-    branch: Option<bool>,
+    pub(crate) branch: Option<bool>,
 }
 
-/// Which hazard engine [`Machine::run_inner`] uses. The two engines must
+/// Which hazard engine [`Machine::step_slot`] uses. The two engines must
 /// produce bit-identical [`SimStats`] and architectural state; the
 /// differential tests enforce this over the full kernel suite.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum HazardEngine {
     /// Predecoded metadata + mask-based checks — the allocation-free
-    /// fast path ([`Machine::run`]).
+    /// fast path ([`Machine::run_decoded`]; also the threaded engine's
+    /// fallback stepper).
     Decoded,
     /// The original allocating `Vec<RegRef>` path, kept as the reference
     /// oracle ([`Machine::run_reference`]).
     Reference,
+}
+
+/// Outcome of one issue slot ([`Machine::step_slot`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepExit {
+    /// The slot issued; keep stepping.
+    Continue,
+    /// `pc` reached `halt`.
+    Halted,
 }
 
 /// The simulated machine.
@@ -114,10 +146,25 @@ pub struct Machine {
     pub predictor: Predictor,
     /// Statistics of the current/last run.
     pub stats: SimStats,
+    /// Trace-translation telemetry of the current/last threaded run
+    /// (zeroed by the other engines). Host-side observability only —
+    /// deliberately **not** part of [`SimStats`], which must stay
+    /// engine-invariant.
+    pub translation: crate::translate::TranslationStats,
     /// Result-latency scoreboard for the MMX registers: cycle at which
     /// each register's value is available.
-    mm_ready: [u64; 8],
-    cycle: u64,
+    pub(crate) mm_ready: [u64; 8],
+    pub(crate) cycle: u64,
+    /// Issue-rule parameters derived from `cfg` (see [`crate::issue`]).
+    pub(crate) rules: IssueRules,
+    /// Generation counter bumped on every MMIO store that stages
+    /// microcode (state-table bytes). Such a store can change a state's
+    /// routing behind an unchanged trace-entry signature, so cached
+    /// signatures embed the generation they were captured under and miss
+    /// when it moves. Control-register stores (CONFIG/counters/entry)
+    /// don't bump it: their effects are fully visible in the controller
+    /// state the signatures capture.
+    pub(crate) mmio_store_gen: u64,
 }
 
 impl Machine {
@@ -134,8 +181,11 @@ impl Machine {
             spu,
             predictor: Predictor::new(cfg.predictor_kind, cfg.btb_entries),
             stats: SimStats::default(),
+            translation: crate::translate::TranslationStats::default(),
             mm_ready: [0; 8],
             cycle: 0,
+            rules: IssueRules::of(&cfg),
+            mmio_store_gen: 0,
             cfg,
         }
     }
@@ -154,9 +204,10 @@ impl Machine {
         }
     }
 
-    /// Run `program` to `halt`. Statistics are reset at entry and returned
-    /// (they also remain readable in [`Machine::stats`]); architectural
-    /// state persists across runs.
+    /// Run `program` to `halt` on the configured engine
+    /// ([`MachineConfig::engine`]; threaded by default). Statistics are
+    /// reset at entry and returned (they also remain readable in
+    /// [`Machine::stats`]); architectural state persists across runs.
     ///
     /// ```
     /// use subword_sim::{Machine, MachineConfig};
@@ -175,19 +226,31 @@ impl Machine {
     /// assert!(stats.ipc() > 1.0); // paddw+sub pair, jnz single
     /// ```
     pub fn run(&mut self, program: &Program) -> Result<SimStats, SimError> {
+        match self.cfg.engine {
+            ExecEngine::Reference => self.run_reference(program),
+            ExecEngine::Decoded => self.run_decoded(program),
+            ExecEngine::Threaded => self.run_threaded(program),
+        }
+    }
+
+    /// Run on the decoded engine: predecoded metadata + mask-based
+    /// hazard checks, one slot at a time (no trace translation).
+    pub fn run_decoded(&mut self, program: &Program) -> Result<SimStats, SimError> {
         self.run_inner(program, &mut |_| {}, HazardEngine::Decoded)
     }
 
     /// Run on the reference hazard engine: the original allocating
     /// `Vec<RegRef>` scoreboard / pairing path, with no predecoded
-    /// fast paths. Slower by design; exists as the oracle the decoded
-    /// engine is differentially tested against (identical [`SimStats`],
+    /// fast paths. Slower by design; exists as the oracle the other
+    /// engines are differentially tested against (identical [`SimStats`],
     /// identical architectural results, over the full kernel suite).
     pub fn run_reference(&mut self, program: &Program) -> Result<SimStats, SimError> {
         self.run_inner(program, &mut |_| {}, HazardEngine::Reference)
     }
 
     /// Run with an issue-slot trace callback (see [`crate::trace`]).
+    /// Always steps the decoded engine: a translated replay has no
+    /// per-slot boundary to report.
     pub fn run_traced(
         &mut self,
         program: &Program,
@@ -202,199 +265,32 @@ impl Machine {
         sink: &mut dyn FnMut(crate::trace::SlotTrace),
         engine: HazardEngine,
     ) -> Result<SimStats, SimError> {
-        self.stats = SimStats::default();
-        self.mm_ready = [0; 8];
-        self.cycle = 0;
+        self.begin_run();
         // Predecode once per run: class flags, register masks and static
         // pairing legality for every instruction (see [`crate::decode`]).
         // The reference engine must stay independent of the predecode
         // layer it is the oracle for, so it skips the decode entirely and
-        // never reads the placeholder metadata below.
+        // never reads the placeholder metadata.
         let decoded = match engine {
             HazardEngine::Decoded => Some(DecodedProgram::decode(program)),
             HazardEngine::Reference => None,
         };
-        let placeholder = DecodedInstr::default();
-        let instrs = &program.instrs;
         let mut pc = 0usize;
+        while self.step_slot(program, decoded.as_ref(), &mut pc, sink)? == StepExit::Continue {}
+        Ok(self.finish_run())
+    }
 
-        loop {
-            if self.cycle > self.cfg.max_cycles {
-                return Err(SimError::MaxCyclesExceeded { pc, limit: self.cfg.max_cycles });
-            }
-            let Some(i0) = instrs.get(pc) else {
-                return Err(SimError::NoHalt);
-            };
-            if matches!(i0, Instr::Halt) {
-                break;
-            }
-            let d0 = match &decoded {
-                Some(d) => *d.get(pc),
-                None => placeholder,
-            };
+    /// Reset per-run state (statistics, scoreboard, cycle counter).
+    /// Predictor and architectural state persist across runs.
+    pub(crate) fn begin_run(&mut self) {
+        self.stats = SimStats::default();
+        self.translation = crate::translate::TranslationStats::default();
+        self.mm_ready = [0; 8];
+        self.cycle = 0;
+    }
 
-            // SPU routing for this and the next instruction, peeked once
-            // per slot in a single controller walk (the controller only
-            // advances at issue).
-            let (r0, r1) = self.peek_routing_pair();
-
-            // Scoreboard: wait for i0's operands.
-            let ready = match engine {
-                HazardEngine::Decoded => self.ready_cycle(&d0, i0, &r0),
-                HazardEngine::Reference => self.ready_cycle_ref(i0, &r0),
-            };
-            let stall_before = ready.saturating_sub(self.cycle);
-            if ready > self.cycle {
-                self.stats.stall_cycles += ready - self.cycle;
-                self.cycle = ready;
-            }
-            let slot_issue_cycle = self.cycle;
-
-            // Pairing decision. Under straight routing on both slots the
-            // legality is the predecoded `pairable_next` bit; the dynamic
-            // mask-based check only runs when the SPU routes this step.
-            let mut pair_candidate: Option<(Instr, DecodedInstr)> = None;
-            if let Some(i1) = instrs.get(pc + 1) {
-                let d1 = match &decoded {
-                    Some(d) => *d.get(pc + 1),
-                    None => placeholder,
-                };
-                let legal = match engine {
-                    HazardEngine::Decoded => {
-                        if !r0.routes_anything() && !r1.routes_anything() {
-                            d0.pairable_next
-                        } else {
-                            can_pair(i0, &r0, i1, &r1)
-                        }
-                    }
-                    HazardEngine::Reference => can_pair_ref(i0, &r0, i1, &r1),
-                };
-                if legal {
-                    let ready1 = match engine {
-                        HazardEngine::Decoded => self.ready_cycle(&d1, i1, &r1),
-                        HazardEngine::Reference => self.ready_cycle_ref(i1, &r1),
-                    };
-                    if ready1 <= self.cycle {
-                        pair_candidate = Some((*i1, d1));
-                    }
-                }
-            }
-
-            // Issue slot cost: 1 cycle, or the blocking scalar-multiply
-            // latency.
-            let slot_is_scalar_mul = match engine {
-                HazardEngine::Decoded => {
-                    d0.flags.is_scalar_multiply()
-                        || pair_candidate.is_some_and(|(_, d1)| d1.flags.is_scalar_multiply())
-                }
-                HazardEngine::Reference => {
-                    i0.is_scalar_multiply()
-                        || pair_candidate.is_some_and(|(i1, _)| i1.is_scalar_multiply())
-                }
-            };
-            let slot_cycles = if slot_is_scalar_mul {
-                self.stats.imul_block_cycles += self.cfg.scalar_mul_latency - 1;
-                self.cfg.scalar_mul_latency
-            } else {
-                1
-            };
-
-            // Execute slot 0.
-            let pc0 = pc;
-            let spu_live_before = self.spu_signature();
-            let routing0 = self.take_routing();
-            debug_assert_eq!(routing0, r0);
-            let eff0 = self.exec(program, i0, &routing0, pc0)?;
-            let (u_mmx, routable0) = match engine {
-                HazardEngine::Decoded => {
-                    self.account(d0.flags);
-                    (d0.flags.is_mmx(), d0.routable)
-                }
-                HazardEngine::Reference => {
-                    self.account_ref(i0);
-                    (i0.is_mmx(), i0.spu_routable())
-                }
-            };
-            let mut mmx_in_slot = u_mmx;
-            let trace_u = crate::trace::TraceEntry {
-                pc: pc0,
-                instr: *i0,
-                routed: routing0.routes_anything() && routable0,
-            };
-            let mut trace_v = None;
-            pc += 1;
-
-            // An SPU control-register change (GO/clear/context switch)
-            // serialises the slot: cancel the pairing.
-            let mut slot1: Option<(usize, ExecEffect)> = None;
-            let mut v_mmx = false;
-            if let Some((i1, d1)) = pair_candidate {
-                if self.spu_signature() == spu_live_before {
-                    let pc1 = pc;
-                    let routing1 = self.take_routing();
-                    let eff1 = self.exec(program, &i1, &routing1, pc1)?;
-                    let routable1 = match engine {
-                        HazardEngine::Decoded => {
-                            self.account(d1.flags);
-                            v_mmx = d1.flags.is_mmx();
-                            d1.routable
-                        }
-                        HazardEngine::Reference => {
-                            self.account_ref(&i1);
-                            v_mmx = i1.is_mmx();
-                            i1.spu_routable()
-                        }
-                    };
-                    mmx_in_slot |= v_mmx;
-                    trace_v = Some(crate::trace::TraceEntry {
-                        pc: pc1,
-                        instr: i1,
-                        routed: routing1.routes_anything() && routable1,
-                    });
-                    slot1 = Some((pc1, eff1));
-                    pc += 1;
-                }
-            }
-            if slot1.is_some() {
-                self.stats.pairs += 1;
-                if u_mmx && v_mmx {
-                    self.stats.mmx_pairs += 1;
-                }
-            } else {
-                self.stats.singles += 1;
-            }
-            if mmx_in_slot {
-                self.stats.mmx_active_cycles += 1;
-            }
-            self.cycle += slot_cycles;
-
-            // Branch resolution (at most one branch per slot, always the
-            // last instruction issued); each slot resolves at its own pc.
-            let mut slot_penalty = 0u64;
-            for (bpc, eff) in [(pc0, eff0)].into_iter().chain(slot1) {
-                let Some(taken) = eff.branch else { continue };
-                self.stats.branches += 1;
-                let mispredicted = self.predictor.update(bpc as u32, taken);
-                if mispredicted {
-                    self.stats.mispredicts += 1;
-                    let pen = self.cfg.effective_mispredict_penalty();
-                    self.stats.mispredict_cycles += pen;
-                    self.cycle += pen;
-                    slot_penalty += pen;
-                }
-                if let Some(t) = eff.redirect {
-                    pc = t;
-                }
-            }
-            sink(crate::trace::SlotTrace {
-                cycle: slot_issue_cycle,
-                u: trace_u,
-                v: trace_v,
-                stall_before,
-                slot_cycles,
-                mispredict_penalty: slot_penalty,
-            });
-        }
+    /// Finalise and return the run's statistics.
+    pub(crate) fn finish_run(&mut self) -> SimStats {
         self.stats.cycles = self.cycle;
         if let Some(spu) = &self.spu {
             let u = spu.controller.usage;
@@ -402,12 +298,214 @@ impl Machine {
             self.stats.spu_routed = u.routed_steps;
             self.stats.spu_activations = u.activations;
         }
-        Ok(self.stats)
+        self.stats
+    }
+
+    /// Issue **one** slot at `*pc`: stall for operands, form the pair,
+    /// execute, account, advance the cycle and resolve the slot's branch.
+    /// This is the single stepping loop body shared by every engine —
+    /// decoded (`decoded = Some`), reference (`decoded = None`), and the
+    /// threaded engine's fallback path.
+    pub(crate) fn step_slot(
+        &mut self,
+        program: &Program,
+        decoded: Option<&DecodedProgram>,
+        pc: &mut usize,
+        sink: &mut dyn FnMut(crate::trace::SlotTrace),
+    ) -> Result<StepExit, SimError> {
+        let engine = match decoded {
+            Some(_) => HazardEngine::Decoded,
+            None => HazardEngine::Reference,
+        };
+        let placeholder = DecodedInstr::default();
+        let instrs = &program.instrs;
+
+        if self.cycle > self.cfg.max_cycles {
+            return Err(SimError::MaxCyclesExceeded { pc: *pc, limit: self.cfg.max_cycles });
+        }
+        let Some(i0) = instrs.get(*pc) else {
+            return Err(SimError::NoHalt);
+        };
+        if matches!(i0, Instr::Halt) {
+            return Ok(StepExit::Halted);
+        }
+        let d0 = match decoded {
+            Some(d) => *d.get(*pc),
+            None => placeholder,
+        };
+
+        // SPU routing for this and the next instruction, peeked once
+        // per slot in a single controller walk (the controller only
+        // advances at issue). When no instruction in the program is
+        // SPU-routable, routing cannot change an operand, a hazard mask
+        // or a pairing verdict, so the walk is skipped outright.
+        let use_routing = self.spu.is_some() && decoded.is_none_or(|d| d.any_spu_routable);
+        let (r0, r1) = if use_routing {
+            self.peek_routing_pair()
+        } else {
+            (StepRouting::default(), StepRouting::default())
+        };
+
+        // Scoreboard: wait for i0's operands.
+        let ready = match engine {
+            HazardEngine::Decoded => self.ready_cycle(&d0, i0, &r0),
+            HazardEngine::Reference => self.ready_cycle_ref(i0, &r0),
+        };
+        let stall_before = ready.saturating_sub(self.cycle);
+        if ready > self.cycle {
+            self.stats.stall_cycles += ready - self.cycle;
+            self.cycle = ready;
+        }
+        let slot_issue_cycle = self.cycle;
+
+        // Pairing decision. Under straight routing on both slots the
+        // legality is the predecoded `pairable_next` bit; the dynamic
+        // mask-based check only runs when the SPU routes this step.
+        let mut pair_candidate: Option<(Instr, DecodedInstr)> = None;
+        if let Some(i1) = instrs.get(*pc + 1) {
+            let d1 = match decoded {
+                Some(d) => *d.get(*pc + 1),
+                None => placeholder,
+            };
+            let legal = match engine {
+                HazardEngine::Decoded => {
+                    if !r0.routes_anything() && !r1.routes_anything() {
+                        d0.pairable_next
+                    } else {
+                        can_pair(i0, &r0, i1, &r1)
+                    }
+                }
+                HazardEngine::Reference => can_pair_ref(i0, &r0, i1, &r1),
+            };
+            if legal {
+                let ready1 = match engine {
+                    HazardEngine::Decoded => self.ready_cycle(&d1, i1, &r1),
+                    HazardEngine::Reference => self.ready_cycle_ref(i1, &r1),
+                };
+                if ready1 <= self.cycle {
+                    pair_candidate = Some((*i1, d1));
+                }
+            }
+        }
+
+        // Issue slot cost: 1 cycle, or the blocking scalar-multiply
+        // latency.
+        let slot_is_scalar_mul = match engine {
+            HazardEngine::Decoded => {
+                d0.flags.is_scalar_multiply()
+                    || pair_candidate.is_some_and(|(_, d1)| d1.flags.is_scalar_multiply())
+            }
+            HazardEngine::Reference => {
+                i0.is_scalar_multiply()
+                    || pair_candidate.is_some_and(|(i1, _)| i1.is_scalar_multiply())
+            }
+        };
+        let slot_cycles = self.rules.slot_cycles(slot_is_scalar_mul);
+        if slot_is_scalar_mul {
+            self.stats.imul_block_cycles += self.rules.imul_extra_cycles();
+        }
+
+        // Execute slot 0.
+        let pc0 = *pc;
+        let spu_live_before = self.spu_signature();
+        let routing0 = self.take_routing();
+        debug_assert!(!use_routing || routing0 == r0);
+        let eff0 = self.exec(program, i0, &routing0, pc0)?;
+        let (u_mmx, routable0) = match engine {
+            HazardEngine::Decoded => {
+                self.account(d0.flags);
+                (d0.flags.is_mmx(), d0.routable)
+            }
+            HazardEngine::Reference => {
+                self.account_ref(i0);
+                (i0.is_mmx(), i0.spu_routable())
+            }
+        };
+        let mut mmx_in_slot = u_mmx;
+        let trace_u = crate::trace::TraceEntry {
+            pc: pc0,
+            instr: *i0,
+            routed: routing0.routes_anything() && routable0,
+        };
+        let mut trace_v = None;
+        *pc += 1;
+
+        // An SPU control-register change (GO/clear/context switch)
+        // serialises the slot: cancel the pairing.
+        let mut slot1: Option<(usize, ExecEffect)> = None;
+        let mut v_mmx = false;
+        if let Some((i1, d1)) = pair_candidate {
+            if self.spu_signature() == spu_live_before {
+                let pc1 = *pc;
+                let routing1 = self.take_routing();
+                let eff1 = self.exec(program, &i1, &routing1, pc1)?;
+                let routable1 = match engine {
+                    HazardEngine::Decoded => {
+                        self.account(d1.flags);
+                        v_mmx = d1.flags.is_mmx();
+                        d1.routable
+                    }
+                    HazardEngine::Reference => {
+                        self.account_ref(&i1);
+                        v_mmx = i1.is_mmx();
+                        i1.spu_routable()
+                    }
+                };
+                mmx_in_slot |= v_mmx;
+                trace_v = Some(crate::trace::TraceEntry {
+                    pc: pc1,
+                    instr: i1,
+                    routed: routing1.routes_anything() && routable1,
+                });
+                slot1 = Some((pc1, eff1));
+                *pc += 1;
+            }
+        }
+        if slot1.is_some() {
+            self.stats.pairs += 1;
+            if u_mmx && v_mmx {
+                self.stats.mmx_pairs += 1;
+            }
+        } else {
+            self.stats.singles += 1;
+        }
+        if mmx_in_slot {
+            self.stats.mmx_active_cycles += 1;
+        }
+        self.cycle += slot_cycles;
+
+        // Branch resolution (at most one branch per slot, always the
+        // last instruction issued); each slot resolves at its own pc.
+        let mut slot_penalty = 0u64;
+        for (bpc, eff) in [(pc0, eff0)].into_iter().chain(slot1) {
+            let Some(taken) = eff.branch else { continue };
+            self.stats.branches += 1;
+            let mispredicted = self.predictor.update(bpc as u32, taken);
+            if mispredicted {
+                self.stats.mispredicts += 1;
+                let pen = self.cfg.effective_mispredict_penalty();
+                self.stats.mispredict_cycles += pen;
+                self.cycle += pen;
+                slot_penalty += pen;
+            }
+            if let Some(t) = eff.redirect {
+                *pc = t;
+            }
+        }
+        sink(crate::trace::SlotTrace {
+            cycle: slot_issue_cycle,
+            u: trace_u,
+            v: trace_v,
+            stall_before,
+            slot_cycles,
+            mispredict_penalty: slot_penalty,
+        });
+        Ok(StepExit::Continue)
     }
 
     /// A small fingerprint of SPU control state used to detect
     /// serialising control-register writes inside an issue slot.
-    fn spu_signature(&self) -> (bool, u64, usize) {
+    pub(crate) fn spu_signature(&self) -> (bool, u64, usize) {
         match &self.spu {
             Some(s) => (
                 s.controller.is_active(),
@@ -419,14 +517,14 @@ impl Machine {
     }
 
     /// Routing for the next two issue slots, in one controller walk.
-    fn peek_routing_pair(&self) -> (StepRouting, StepRouting) {
+    pub(crate) fn peek_routing_pair(&self) -> (StepRouting, StepRouting) {
         match &self.spu {
             Some(s) => s.controller.peek_routing_pair(),
             None => (StepRouting::default(), StepRouting::default()),
         }
     }
 
-    fn take_routing(&mut self) -> StepRouting {
+    pub(crate) fn take_routing(&mut self) -> StepRouting {
         match &mut self.spu {
             Some(s) => s.controller.on_issue(),
             None => StepRouting::default(),
@@ -437,17 +535,12 @@ impl Machine {
     /// (mask engine: no allocation; the predecoded nominal mask serves
     /// unrouted slots, the dynamic effective mask routed ones).
     fn ready_cycle(&self, d: &DecodedInstr, i: &Instr, routing: &StepRouting) -> u64 {
-        let mut mm = if routing.routes_anything() && d.routable {
+        let mm = if routing.routes_anything() && d.routable {
             effective_read_mask(i, routing).mm
         } else {
             d.reads.mm
         };
-        let mut t = 0;
-        while mm != 0 {
-            t = t.max(self.mm_ready[mm.trailing_zeros() as usize]);
-            mm &= mm - 1;
-        }
-        t
+        IssueRules::operand_ready(mm, &self.mm_ready)
     }
 
     /// Reference-engine form of [`Machine::ready_cycle`], on the
@@ -463,28 +556,8 @@ impl Machine {
     }
 
     /// Statistics accounting from the predecoded class-flags byte.
-    fn account(&mut self, flags: ClassFlags) {
-        self.stats.instructions += 1;
-        if flags.is_mmx() {
-            self.stats.mmx_instructions += 1;
-            if flags.is_realignment() {
-                self.stats.mmx_realignments += 1;
-            }
-            if flags.is_mmx_multiply() {
-                self.stats.mmx_multiplies += 1;
-            }
-        } else {
-            self.stats.scalar_instructions += 1;
-        }
-        if flags.is_scalar_multiply() {
-            self.stats.scalar_multiplies += 1;
-        }
-        if flags.is_load() {
-            self.stats.loads += 1;
-        }
-        if flags.is_store() {
-            self.stats.stores += 1;
-        }
+    pub(crate) fn account(&mut self, flags: ClassFlags) {
+        account_into(&mut self.stats, flags);
     }
 
     /// Reference-engine accounting, straight off the instruction's class
@@ -532,9 +605,18 @@ impl Machine {
         r.map_err(|(addr, size)| SimError::MemOutOfBounds { addr, size, pc })
     }
 
-    fn store_mem(&mut self, addr: u32, v: u64, size: usize, pc: usize) -> Result<(), SimError> {
+    pub(crate) fn store_mem(
+        &mut self,
+        addr: u32,
+        v: u64,
+        size: usize,
+        pc: usize,
+    ) -> Result<(), SimError> {
         if in_mmio_range(addr) {
             self.stats.mmio_accesses += 1;
+            if subword_spu::mmio::store_stages_microcode(addr) {
+                self.mmio_store_gen += 1;
+            }
             return match &mut self.spu {
                 Some(s) => {
                     s.write(addr, v, size).map_err(|err| SimError::Spu { pc, err })?;
@@ -553,7 +635,7 @@ impl Machine {
     }
 
     #[inline]
-    fn ea(&self, m: &Mem) -> u32 {
+    pub(crate) fn ea(&self, m: &Mem) -> u32 {
         m.effective(|r| self.regs.read_gp(r))
     }
 
@@ -572,7 +654,7 @@ impl Machine {
 
     // ---- execution -------------------------------------------------------
 
-    fn exec(
+    pub(crate) fn exec(
         &mut self,
         program: &Program,
         i: &Instr,
@@ -764,6 +846,34 @@ impl Machine {
             Instr::Nop => Ok(ExecEffect::default()),
             Instr::Halt => unreachable!("halt handled by the fetch loop"),
         }
+    }
+}
+
+/// Statistics accounting from a predecoded class-flags byte, into an
+/// arbitrary accumulator — shared by the live slot loop
+/// ([`Machine::account`]) and the trace translator's per-region bulk
+/// counters.
+pub(crate) fn account_into(stats: &mut SimStats, flags: ClassFlags) {
+    stats.instructions += 1;
+    if flags.is_mmx() {
+        stats.mmx_instructions += 1;
+        if flags.is_realignment() {
+            stats.mmx_realignments += 1;
+        }
+        if flags.is_mmx_multiply() {
+            stats.mmx_multiplies += 1;
+        }
+    } else {
+        stats.scalar_instructions += 1;
+    }
+    if flags.is_scalar_multiply() {
+        stats.scalar_multiplies += 1;
+    }
+    if flags.is_load() {
+        stats.loads += 1;
+    }
+    if flags.is_store() {
+        stats.stores += 1;
     }
 }
 

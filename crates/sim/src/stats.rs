@@ -2,7 +2,7 @@
 //! VTune measurements.
 
 use std::fmt;
-use std::ops::Sub;
+use std::ops::{AddAssign, Sub};
 
 /// Counters collected over a simulation run.
 ///
@@ -150,6 +150,35 @@ impl Sub for SimStats {
             spu_activations: self.spu_activations - o.spu_activations,
             mmio_accesses: self.mmio_accesses - o.mmio_accesses,
         }
+    }
+}
+
+impl AddAssign for SimStats {
+    /// Field-wise accumulation — used by the trace replayer to apply a
+    /// region's pre-counted statistics in one shot.
+    fn add_assign(&mut self, o: SimStats) {
+        self.cycles += o.cycles;
+        self.instructions += o.instructions;
+        self.mmx_instructions += o.mmx_instructions;
+        self.scalar_instructions += o.scalar_instructions;
+        self.mmx_realignments += o.mmx_realignments;
+        self.mmx_multiplies += o.mmx_multiplies;
+        self.scalar_multiplies += o.scalar_multiplies;
+        self.branches += o.branches;
+        self.mispredicts += o.mispredicts;
+        self.mispredict_cycles += o.mispredict_cycles;
+        self.stall_cycles += o.stall_cycles;
+        self.imul_block_cycles += o.imul_block_cycles;
+        self.pairs += o.pairs;
+        self.singles += o.singles;
+        self.mmx_pairs += o.mmx_pairs;
+        self.mmx_active_cycles += o.mmx_active_cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.spu_routed += o.spu_routed;
+        self.spu_steps += o.spu_steps;
+        self.spu_activations += o.spu_activations;
+        self.mmio_accesses += o.mmio_accesses;
     }
 }
 

@@ -1,0 +1,676 @@
+//! Trace translation: the threaded execution engine.
+//!
+//! The decoded engine still re-decides pairing, scoreboard readiness and
+//! SPU routing through a match per issue slot on every loop iteration,
+//! even though a steady-state iteration makes exactly the same decisions
+//! as the previous one. This module lowers each straight-line region
+//! (same partition as the PR 3 scheduler — [`crate::issue::regions_of`])
+//! **once per distinct entry state** into a flat issue trace: an array of
+//! pre-bound slots with pairing, stall cycles, multiplier-latency
+//! scoreboard effects and SPU routing pre-resolved. Replaying a trace
+//! executes the region's instructions (register/memory semantics always
+//! run live) but skips the per-slot issue machinery entirely, then
+//! applies the region's pre-counted statistics in one `+=`.
+//!
+//! ## Entry signatures
+//!
+//! A region's issue schedule is fully determined by its entry state:
+//!
+//! * the **relative scoreboard** — each MMX register's ready cycle minus
+//!   the entry cycle (bounded by the multiplier latency);
+//! * the **SPU controller state** — active context, state id, committed
+//!   crossbar window base, and the two loop counters, *clamped* at
+//!   `span + 1`: a counter that cannot reach zero within the region
+//!   takes the same arcs no matter its exact value, so all such values
+//!   share one trace;
+//! * the **microcode store generation** — a counter bumped on every
+//!   store that stages state-table bytes in the SPU window. Such a
+//!   store can change a state's routing behind an otherwise-unchanged
+//!   signature, so traces never survive one. Control-register stores
+//!   (GO/counters/entry) don't invalidate anything: their effects are
+//!   fully visible in the controller state the signature captures, which
+//!   is what lets per-block SPU re-arm loops keep their traces warm.
+//!
+//! Traces are cached per region keyed by this signature; a mismatch
+//! translates afresh (up to a small cap), and dynamic events fall back to
+//! the decoded stepper for exactly the affected slots.
+//!
+//! ## Invalidation and fallback rules
+//!
+//! * **Barrier regions** (statically identifiable SPU MMIO accesses) are
+//!   never translated — the decoded stepper executes them, and the store
+//!   generation moves underneath every cached signature.
+//! * A **register-addressed store** whose effective address lands in the
+//!   MMIO window mid-replay aborts the replay *before* the store
+//!   executes: the already-replayed prefix is accounted from the trace,
+//!   and the decoded stepper re-issues from the aborted slot with live
+//!   routing.
+//! * A replay that could cross [`MachineConfig::max_cycles`] falls back
+//!   wholesale so the decoded stepper reproduces the exact fault.
+//! * **Taken/not-taken branch outcomes** need no fallback: a region's
+//!   terminating branch is executed live during replay and resolved
+//!   (predictor update, penalty, redirect) exactly as the decoded
+//!   stepper would.
+//! * A **fallthrough region's last instruction** is left to the decoded
+//!   stepper unless the trace pairs it inward: the dynamic pairing
+//!   window crosses region boundaries (the slot formed at the region's
+//!   tail may pair with the next region's head), which a per-region
+//!   trace cannot pre-resolve.
+//!
+//! The result is bit-identical [`SimStats`], architectural state and
+//! faults across all three engines — enforced suite-wide by the
+//! differential tests — at a multiple of the decoded engine's simulated
+//! MIPS on loop-dominated kernels.
+//!
+//! [`MachineConfig::max_cycles`]: crate::machine::MachineConfig::max_cycles
+
+use crate::decode::DecodedProgram;
+use crate::error::SimError;
+use crate::issue::{regions_of, IssueOp, IssueRules, Region, RegionKind};
+use crate::machine::{account_into, ExecEffect, Machine, StepExit};
+use crate::pipeline::{can_pair, effective_read_mask};
+use crate::stats::SimStats;
+use subword_isa::instr::Instr;
+use subword_isa::program::Program;
+use subword_spu::controller::StepRouting;
+use subword_spu::mmio::in_mmio_range;
+
+/// Traces cached per region before further entry states fall back to the
+/// decoded stepper (counter-countdown tails of SPU loops produce a few
+/// distinct signatures per region; runaways would just thrash).
+const MAX_TRACES_PER_REGION: usize = 16;
+
+/// Largest relative scoreboard distance a signature can carry. Bounded
+/// by the MMX multiply latency in practice; configurations beyond this
+/// simply never translate.
+const MAX_MM_REL: u64 = 255;
+
+/// Sentinel for "no V slot".
+const NO_V: u32 = u32::MAX;
+
+/// Host-side telemetry of the threaded engine (see
+/// [`Machine::translation`]). Not part of [`SimStats`]: the simulated
+/// machine's statistics must be identical across engines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Straight-line regions in the program's partition.
+    pub regions: u64,
+    /// Traces built (cache misses that translated).
+    pub translations: u64,
+    /// Completed trace replays.
+    pub replays: u64,
+    /// Issue slots retired through trace replay.
+    pub replayed_slots: u64,
+    /// Replays aborted mid-trace (dynamic MMIO store).
+    pub aborts: u64,
+    /// Issue slots retired through the decoded fallback stepper.
+    pub fallback_slots: u64,
+}
+
+/// SPU controller component of an entry signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SpuSig {
+    /// Controller idle (or no SPU fitted): every slot fetches straight.
+    Off,
+    /// Controller live: the routing walk starts here.
+    Active {
+        ctx: usize,
+        state: u8,
+        /// Loop counters, clamped at `span + 1` (see module docs).
+        counters: [u32; 2],
+        /// Crossbar window base the context was committed with. A GO
+        /// store re-commits the context with the CONFIG window-base
+        /// bits, which changes routing without touching staged
+        /// microcode (the store generation), so it must be part of the
+        /// signature.
+        window_base: u8,
+    },
+}
+
+/// Everything the issue schedule of one region entry depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct EntrySig {
+    /// Per-register MMX ready cycle relative to the entry cycle.
+    mm_rel: [u8; 8],
+    spu: SpuSig,
+    /// [`Machine`]'s MMIO store generation at capture.
+    gen: u64,
+}
+
+/// One pre-bound issue slot of a trace.
+#[derive(Clone, Copy, Debug)]
+struct TraceSlot {
+    /// `pc` of the U-pipe instruction.
+    u: u32,
+    /// `pc` of the V-pipe instruction, or [`NO_V`].
+    v: u32,
+    /// Issue cycle relative to region entry (stalls pre-applied).
+    rel: u64,
+    /// Cycles the slot occupies (1, or the blocking `imul` latency).
+    cycles: u64,
+}
+
+/// A translated region: the slot array plus everything needed to apply
+/// its effects in bulk.
+#[derive(Clone, Debug)]
+struct Trace {
+    sig: EntrySig,
+    slots: Vec<TraceSlot>,
+    /// Statically-determined statistics of a full replay (instruction
+    /// classes, slot mix, stalls). Dynamic counters — branches,
+    /// mispredicts, MMIO accesses, SPU usage — stay zero here and are
+    /// accounted live.
+    bulk: SimStats,
+    /// Cycles a full replay advances the clock (before any terminator
+    /// mispredict penalty).
+    cycle_advance: u64,
+    /// `pc` after a full replay when no branch redirects.
+    end_pc: usize,
+}
+
+/// Per-run translation state: the region partition and the trace caches.
+struct Translator {
+    regions: Vec<Region>,
+    /// `pc` → region index for region *starts* (`u32::MAX` elsewhere).
+    region_at: Vec<u32>,
+    caches: Vec<Vec<Trace>>,
+    /// Regions that can never replay (barriers, empty coverage).
+    never: Vec<bool>,
+}
+
+impl Translator {
+    fn new(program: &Program) -> Translator {
+        let regions = regions_of(program);
+        let mut region_at = vec![u32::MAX; program.instrs.len() + 1];
+        for (k, r) in regions.iter().enumerate() {
+            region_at[r.start] = k as u32;
+        }
+        let never = regions.iter().map(|r| r.kind == RegionKind::Barrier).collect();
+        let caches = regions.iter().map(|_| Vec::new()).collect();
+        Translator { regions, region_at, caches, never }
+    }
+}
+
+impl Machine {
+    /// Run `program` on the threaded engine: trace-translate straight-line
+    /// regions and replay them, falling back to the decoded stepper for
+    /// dynamic events. Bit-identical to [`Machine::run_reference`] in
+    /// statistics, architectural state and faults.
+    pub fn run_threaded(&mut self, program: &Program) -> Result<SimStats, SimError> {
+        self.begin_run();
+        let decoded = DecodedProgram::decode(program);
+        let mut tr = Translator::new(program);
+        self.translation.regions = tr.regions.len() as u64;
+        let mut nosink = |_: crate::trace::SlotTrace| {};
+        let mut pc = 0usize;
+        loop {
+            let ridx = tr.region_at.get(pc).copied().unwrap_or(u32::MAX);
+            if ridx != u32::MAX
+                && !tr.never[ridx as usize]
+                && self.enter_region(program, &decoded, &mut tr, ridx as usize, &mut pc)?
+            {
+                continue;
+            }
+            match self.step_slot(program, Some(&decoded), &mut pc, &mut nosink)? {
+                StepExit::Continue => self.translation.fallback_slots += 1,
+                StepExit::Halted => break,
+            }
+        }
+        Ok(self.finish_run())
+    }
+
+    /// Attempt to replay the region starting at `*pc`. Returns `true` if
+    /// the machine advanced (full replay, or a partial replay aborted
+    /// after at least one slot); `false` asks the caller to step the
+    /// decoded path.
+    fn enter_region(
+        &mut self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        tr: &mut Translator,
+        ridx: usize,
+        pc: &mut usize,
+    ) -> Result<bool, SimError> {
+        let region = tr.regions[ridx];
+        let Some(sig) = self.entry_sig(&region) else {
+            return Ok(false);
+        };
+        let cache = &mut tr.caches[ridx];
+        let hit = cache.iter().position(|t| t.sig == sig);
+        let k = match hit {
+            Some(k) => k,
+            None => {
+                if cache.len() >= MAX_TRACES_PER_REGION {
+                    return Ok(false);
+                }
+                let Some(trace) = self.translate_region(program, decoded, &region, &sig) else {
+                    tr.never[ridx] = true;
+                    return Ok(false);
+                };
+                self.translation.translations += 1;
+                cache.push(trace);
+                cache.len() - 1
+            }
+        };
+        let trace = &cache[k];
+        // A replay crossing the cycle budget falls back wholesale: the
+        // decoded stepper then faults at the exact slot the oracle would.
+        if self.cycle + trace.cycle_advance > self.cfg.max_cycles {
+            return Ok(false);
+        }
+        self.replay(program, decoded, &region, trace, pc)
+    }
+
+    /// Capture the entry signature for `region` at the current machine
+    /// state. `None` when the state cannot be summarised (scoreboard
+    /// distance beyond [`MAX_MM_REL`]).
+    fn entry_sig(&self, region: &Region) -> Option<EntrySig> {
+        let mut mm_rel = [0u8; 8];
+        for (slot, &ready) in mm_rel.iter_mut().zip(&self.mm_ready) {
+            let rel = ready.saturating_sub(self.cycle);
+            if rel > MAX_MM_REL {
+                return None;
+            }
+            *slot = rel as u8;
+        }
+        let span = (region.end - region.start) as u32;
+        let spu = match &self.spu {
+            Some(s) if s.controller.is_active() => SpuSig::Active {
+                ctx: s.controller.active_context(),
+                state: s.controller.current_state(),
+                counters: s.controller.counters().map(|c| c.min(span + 1)),
+                window_base: s.controller.window_base(),
+            },
+            _ => SpuSig::Off,
+        };
+        Some(EntrySig { mm_rel, spu, gen: self.mmio_store_gen })
+    }
+
+    /// Lower `region` into a trace for entry state `sig`, mirroring the
+    /// decoded stepper's slot formation exactly: same pairing decisions
+    /// (including the SPU go-transition cancellation), same stalls, same
+    /// scoreboard retires. Must be called at an entry whose live state
+    /// matches `sig` (the controller walk starts from the live state).
+    /// `None` when the region yields no replayable slots.
+    fn translate_region(
+        &self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        region: &Region,
+        sig: &EntrySig,
+    ) -> Option<Trace> {
+        let instrs = &program.instrs;
+        let u_limit = match region.kind {
+            RegionKind::Barrier => return None,
+            // `halt` is never issued; the outer loop must see it.
+            RegionKind::Halt => region.end - 1,
+            _ => region.end,
+        };
+        let mut walk = match sig.spu {
+            SpuSig::Active { .. } => Some(self.spu.as_ref()?.controller.walk()),
+            SpuSig::Off => None,
+        };
+        let mut mm_rel = [0u64; 8];
+        for (dst, &rel) in mm_rel.iter_mut().zip(&sig.mm_rel) {
+            *dst = u64::from(rel);
+        }
+        let mut rel = 0u64;
+        let mut slots: Vec<TraceSlot> = Vec::with_capacity(region.end - region.start);
+        let mut bulk = SimStats::default();
+        let mut end_pc = u_limit;
+        let mut p = region.start;
+        while p < u_limit {
+            if region.kind == RegionKind::Fallthrough && p == region.end - 1 {
+                // The dynamic pairing window crosses the region boundary
+                // here; leave the last instruction to the decoded stepper.
+                end_pc = p;
+                break;
+            }
+            let i0 = &instrs[p];
+            let d0 = decoded.get(p);
+            let (r0, r1) = match &walk {
+                Some(w) => (w.current_routing(), w.next_routing()),
+                None => (StepRouting::default(), StepRouting::default()),
+            };
+
+            let ready = ready_rel(&mm_rel, d0.reads.mm, d0.routable, i0, &r0);
+            if ready > rel {
+                bulk.stall_cycles += ready - rel;
+                rel = ready;
+            }
+
+            // Pairing decision — identical to the decoded stepper. An
+            // accepted candidate always lies inside the region's
+            // coverage: branches and `halt` never follow a leader.
+            let mut cand: Option<usize> = None;
+            if let Some(i1) = instrs.get(p + 1) {
+                let d1 = decoded.get(p + 1);
+                let legal = if !r0.routes_anything() && !r1.routes_anything() {
+                    d0.pairable_next
+                } else {
+                    can_pair(i0, &r0, i1, &r1)
+                };
+                if legal && ready_rel(&mm_rel, d1.reads.mm, d1.routable, i1, &r1) <= rel {
+                    cand = Some(p + 1);
+                }
+            }
+
+            let slot_is_scalar_mul = d0.flags.is_scalar_multiply()
+                || cand.is_some_and(|q| decoded.get(q).flags.is_scalar_multiply());
+            let slot_cycles = self.rules.slot_cycles(slot_is_scalar_mul);
+            if slot_is_scalar_mul {
+                bulk.imul_block_cycles += self.rules.imul_extra_cycles();
+            }
+
+            // Issue U. Within a region only the controller's go→idle
+            // transition can change the live SPU signature (MMIO stores
+            // are barriers or replay aborts), so the walk's go bit models
+            // the pairing-cancellation check exactly.
+            let go_before = walk.as_ref().map(|w| w.is_active());
+            let routing0 = match &mut walk {
+                Some(w) => w.step(),
+                None => StepRouting::default(),
+            };
+            account_into(&mut bulk, d0.flags);
+            let u_mmx = d0.flags.is_mmx();
+            self.rules.retire(&IssueOp::of(i0, &routing0), rel, &mut mm_rel);
+            let pc0 = p;
+            p += 1;
+
+            // Issue V unless the U issue serialised the slot.
+            let mut v_pc = NO_V;
+            let mut v_mmx = false;
+            if let Some(q) = cand {
+                if walk.as_ref().map(|w| w.is_active()) == go_before {
+                    let i1 = &instrs[q];
+                    let d1 = decoded.get(q);
+                    let routing1 = match &mut walk {
+                        Some(w) => w.step(),
+                        None => StepRouting::default(),
+                    };
+                    account_into(&mut bulk, d1.flags);
+                    v_mmx = d1.flags.is_mmx();
+                    self.rules.retire(&IssueOp::of(i1, &routing1), rel, &mut mm_rel);
+                    v_pc = q as u32;
+                    p += 1;
+                }
+            }
+
+            if v_pc != NO_V {
+                bulk.pairs += 1;
+                if u_mmx && v_mmx {
+                    bulk.mmx_pairs += 1;
+                }
+            } else {
+                bulk.singles += 1;
+            }
+            if u_mmx || v_mmx {
+                bulk.mmx_active_cycles += 1;
+            }
+            slots.push(TraceSlot { u: pc0 as u32, v: v_pc, rel, cycles: slot_cycles });
+            rel += slot_cycles;
+        }
+        if slots.is_empty() {
+            return None;
+        }
+        Some(Trace { sig: *sig, slots, bulk, cycle_advance: rel, end_pc })
+    }
+
+    /// Replay `trace`: execute every pre-bound slot (live semantics, live
+    /// controller stepping), then apply the bulk statistics, set the
+    /// clock forward and resolve the region's terminating branch.
+    /// Returns `true` when the machine advanced.
+    fn replay(
+        &mut self,
+        program: &Program,
+        decoded: &DecodedProgram,
+        region: &Region,
+        trace: &Trace,
+        pc: &mut usize,
+    ) -> Result<bool, SimError> {
+        let entry_cycle = self.cycle;
+        let mut last_eff = ExecEffect::default();
+        for (si, slot) in trace.slots.iter().enumerate() {
+            let u_pc = slot.u as usize;
+            let i0 = &program.instrs[u_pc];
+            // Dynamic-address MMIO store: the trace's pre-resolved
+            // routing is stale from here on. Account the completed
+            // prefix and hand the slot to the decoded stepper.
+            if decoded.get(u_pc).flags.is_store() {
+                if let Some(m) = i0.mem_operand() {
+                    if in_mmio_range(m.effective(|r| self.regs.read_gp(r))) {
+                        return self.abort_replay(decoded, trace, si, entry_cycle, pc);
+                    }
+                }
+            }
+            // The clock tracks each slot's issue cycle so multiplier
+            // retires land exactly where the decoded stepper puts them.
+            self.cycle = entry_cycle + slot.rel;
+            let routing0 = self.take_routing();
+            last_eff = self.exec(program, i0, &routing0, u_pc)?;
+            if slot.v != NO_V {
+                let v_pc = slot.v as usize;
+                let routing1 = self.take_routing();
+                last_eff = self.exec(program, &program.instrs[v_pc], &routing1, v_pc)?;
+            }
+        }
+        self.cycle = entry_cycle + trace.cycle_advance;
+        self.stats += trace.bulk;
+        self.translation.replays += 1;
+        self.translation.replayed_slots += trace.slots.len() as u64;
+        *pc = trace.end_pc;
+        if matches!(region.kind, RegionKind::Loop | RegionKind::Branch) {
+            let bpc = region.end - 1;
+            let taken = last_eff.branch.expect("region terminator must be a branch");
+            self.stats.branches += 1;
+            if self.predictor.update(bpc as u32, taken) {
+                self.stats.mispredicts += 1;
+                let pen = self.cfg.effective_mispredict_penalty();
+                self.stats.mispredict_cycles += pen;
+                self.cycle += pen;
+            }
+            if let Some(t) = last_eff.redirect {
+                *pc = t;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Account the `si` fully-replayed slots of an aborted replay from
+    /// the trace's metadata (their execution side effects already
+    /// happened live) and position `pc`/the clock so the decoded stepper
+    /// re-issues slot `si` exactly as if it had been stepping all along.
+    fn abort_replay(
+        &mut self,
+        decoded: &DecodedProgram,
+        trace: &Trace,
+        si: usize,
+        entry_cycle: u64,
+        pc: &mut usize,
+    ) -> Result<bool, SimError> {
+        self.translation.aborts += 1;
+        let mut prev_end = 0u64;
+        for slot in &trace.slots[..si] {
+            self.stats.stall_cycles += slot.rel - prev_end;
+            let d0 = decoded.get(slot.u as usize);
+            account_into(&mut self.stats, d0.flags);
+            let u_mmx = d0.flags.is_mmx();
+            let mut v_mmx = false;
+            let mut scalar_mul = d0.flags.is_scalar_multiply();
+            if slot.v != NO_V {
+                let d1 = decoded.get(slot.v as usize);
+                account_into(&mut self.stats, d1.flags);
+                v_mmx = d1.flags.is_mmx();
+                scalar_mul |= d1.flags.is_scalar_multiply();
+                self.stats.pairs += 1;
+                if u_mmx && v_mmx {
+                    self.stats.mmx_pairs += 1;
+                }
+            } else {
+                self.stats.singles += 1;
+            }
+            if u_mmx || v_mmx {
+                self.stats.mmx_active_cycles += 1;
+            }
+            if scalar_mul {
+                self.stats.imul_block_cycles += self.rules.imul_extra_cycles();
+            }
+            self.translation.replayed_slots += 1;
+            prev_end = slot.rel + slot.cycles;
+        }
+        self.cycle = entry_cycle + prev_end;
+        *pc = trace.slots[si].u as usize;
+        Ok(si > 0)
+    }
+}
+
+/// Relative-scoreboard form of the decoded stepper's `ready_cycle`.
+#[inline]
+fn ready_rel(
+    mm_rel: &[u64; 8],
+    nominal: u8,
+    routable: bool,
+    i: &Instr,
+    routing: &StepRouting,
+) -> u64 {
+    let mm = if routing.routes_anything() && routable {
+        effective_read_mask(i, routing).mm
+    } else {
+        nominal
+    };
+    IssueRules::operand_ready(mm, mm_rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use subword_isa::asm::assemble;
+    use subword_isa::lane::from_iwords;
+    use subword_isa::op::{Cond, MmxOp};
+    use subword_isa::reg::gp::*;
+    use subword_isa::reg::MmReg::*;
+    use subword_isa::ProgramBuilder;
+    use subword_spu::crossbar::ByteRoute;
+    use subword_spu::mmio::{emit_spu_go, SPU_MMIO_BASE};
+    use subword_spu::{SpuProgram, SHAPE_D};
+
+    fn assert_threaded_matches_reference(
+        mut setup: impl FnMut(&mut Machine),
+        program: &Program,
+    ) -> (SimStats, TranslationStats) {
+        let mut reference = Machine::new(MachineConfig {
+            engine: crate::machine::ExecEngine::Reference,
+            spu_fitted: true,
+            crossbar: SHAPE_D,
+            ..Default::default()
+        });
+        setup(&mut reference);
+        let want = reference.run(program).unwrap();
+
+        let mut threaded = Machine::new(MachineConfig {
+            engine: crate::machine::ExecEngine::Threaded,
+            spu_fitted: true,
+            crossbar: SHAPE_D,
+            ..Default::default()
+        });
+        setup(&mut threaded);
+        let got = threaded.run(program).unwrap();
+
+        assert_eq!(got, want, "threaded SimStats diverged from reference");
+        assert_eq!(threaded.regs.read_mm(MM0), reference.regs.read_mm(MM0));
+        assert_eq!(threaded.regs.read_gp(R0), reference.regs.read_gp(R0));
+        (got, threaded.translation)
+    }
+
+    #[test]
+    fn steady_state_loop_replays() {
+        let p = assemble(
+            "t",
+            "mov r0, 500\nloop:\n pmullw mm0, mm1\n paddw mm2, mm0\n sub r0, 1\n jnz loop\n halt\n",
+        )
+        .unwrap();
+        let (_, tl) = assert_threaded_matches_reference(|_| {}, &p);
+        assert!(tl.replays >= 490, "loop iterations should replay, got {tl:?}");
+        // One trace for the warm loop entry, at most a couple more for
+        // the cold entries.
+        assert!(tl.translations <= 4, "trace cache should converge, got {tl:?}");
+    }
+
+    #[test]
+    fn routed_spu_loop_replays_with_signature_tail() {
+        let trips = 50u64;
+        let op_a = ByteRoute::from_reg_words([(MM0, 0), (MM1, 0), (MM0, 1), (MM1, 1)]);
+        let op_b = ByteRoute::from_reg_words([(MM0, 2), (MM1, 2), (MM0, 3), (MM1, 3)]);
+        let spu_prog = SpuProgram::single_loop(
+            "dot",
+            &[(Some(op_a), Some(op_b)), (Some(op_a), Some(op_b)), (None, None), (None, None)],
+            trips,
+        );
+        let mut b = ProgramBuilder::new("spu-loop");
+        b.mov_ri(R0, trips as i32);
+        emit_spu_go(&mut b, 0, &spu_prog);
+        let l = b.bind_here("loop");
+        b.mmx_rr(MmxOp::Pmulhw, MM2, MM2);
+        b.mmx_rr(MmxOp::Pmullw, MM3, MM3);
+        b.alu_ri(subword_isa::op::AluOp::Sub, R0, 1);
+        b.jcc(Cond::Ne, l);
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let spu_prog2 = spu_prog.clone();
+        let (_, tl) = assert_threaded_matches_reference(
+            move |m| {
+                m.install_spu_program(0, &spu_prog2).unwrap();
+                m.regs.write_mm(MM0, from_iwords([1, 2, 3, 4]));
+                m.regs.write_mm(MM1, from_iwords([5, 6, 7, 8]));
+            },
+            &p,
+        );
+        assert!(tl.replays > trips / 2, "routed loop should replay, got {tl:?}");
+    }
+
+    /// A register-addressed store into the SPU staging window mid-loop
+    /// aborts the replay at that slot without breaking equivalence.
+    #[test]
+    fn dynamic_mmio_store_aborts_replay() {
+        let mut b = ProgramBuilder::new("dyn-mmio");
+        // r1 points into an unused staging byte of context 3.
+        b.mov_ri(R1, (SPU_MMIO_BASE + 3 * 0x1800 + 0x1000) as i32);
+        b.mov_ri(R0, 40);
+        let l = b.bind_here("loop");
+        b.mmx_rr(MmxOp::Paddw, MM0, MM1);
+        b.store(subword_isa::Mem::base(R1), R2);
+        b.alu_ri(subword_isa::op::AluOp::Sub, R0, 1);
+        b.jcc(Cond::Ne, l);
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let (stats, tl) = assert_threaded_matches_reference(|_| {}, &p);
+        assert_eq!(stats.mmio_accesses, 40);
+        assert!(tl.aborts > 0, "MMIO store should abort replays, got {tl:?}");
+    }
+
+    #[test]
+    fn max_cycles_fault_is_identical() {
+        let p = assemble("t", "l:\n jmp l\n halt\n").unwrap();
+        let cfg = MachineConfig { max_cycles: 1000, ..Default::default() };
+        let mut threaded = Machine::new(cfg.clone());
+        let te = threaded.run(&p).unwrap_err();
+        let mut reference = Machine::new(cfg);
+        let re = reference.run_reference(&p).unwrap_err();
+        assert_eq!(te.to_string(), re.to_string());
+    }
+
+    #[test]
+    fn translation_stats_stay_out_of_simstats() {
+        let p = assemble("t", "mov r0, 9\nl:\n sub r0, 1\n jnz l\n halt\n").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        let threaded = m.run(&p).unwrap();
+        assert!(m.translation.replays > 0);
+        let mut d = Machine::new(MachineConfig::default());
+        let decoded = d.run_decoded(&p).unwrap();
+        assert_eq!(d.translation, TranslationStats::default());
+        assert_eq!(threaded, decoded);
+    }
+}

@@ -1,23 +1,28 @@
-//! Differential test of the two hazard engines: [`Machine::run`] (the
-//! predecoded, mask-based fast path) versus [`Machine::run_reference`]
-//! (the allocating `Vec<RegRef>` oracle) over the **full kernel suite**,
-//! in both machine variants:
+//! Differential test of the **three** execution engines over the full
+//! kernel suite:
 //!
-//! * MMX-only baseline programs, and
+//! * [`ExecEngine::Reference`] — the allocating `Vec<RegRef>` oracle,
+//! * [`ExecEngine::Decoded`] — the predecoded, mask-based stepper,
+//! * [`ExecEngine::Threaded`] — the trace-translated replayer,
+//!
+//! in every machine variant the suite exercises:
+//!
+//! * MMX-only baseline programs, plus their list-scheduled forms;
 //! * SPU-lifted programs (compiled by `subword-compile`, so the runs
-//!   exercise routed operand fetch, GO serialisation and the dynamic
-//!   mask-based pairing path) under shapes A and D.
+//!   exercise routed operand fetch, GO serialisation, the dynamic
+//!   mask-based pairing path and trace invalidation around MMIO
+//!   barriers) under shapes A–D, both unscheduled and scheduled.
 //!
 //! For every run the engines must agree **bit-for-bit** on [`SimStats`]
 //! and produce the golden kernel outputs. Any divergence indicts the
-//! predecode layer (class flags, register masks, `pairable_next`) or the
-//! mask-based hazard checks.
+//! predecode layer, the mask-based hazard checks, or the trace
+//! translator's pre-resolved issue schedules.
 
 use subword_compile::lift_permutes;
 use subword_kernels::framework::KernelBuild;
 use subword_kernels::suite::{all_suites, dotprod_example, SuiteEntry};
-use subword_sim::{Machine, MachineConfig, SimStats};
-use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_D};
+use subword_sim::{ExecEngine, Machine, MachineConfig, SimStats};
+use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D};
 
 fn full_suite() -> Vec<SuiteEntry> {
     let mut entries = all_suites();
@@ -26,8 +31,13 @@ fn full_suite() -> Vec<SuiteEntry> {
 }
 
 /// Run one build on one engine, checking the golden outputs.
-fn run_engine(build: &KernelBuild, cfg: MachineConfig, reference: bool, label: &str) -> SimStats {
-    let mut m = Machine::new(cfg);
+fn run_engine(
+    build: &KernelBuild,
+    cfg: &MachineConfig,
+    engine: ExecEngine,
+    label: &str,
+) -> SimStats {
+    let mut m = Machine::new(MachineConfig { engine, ..cfg.clone() });
     for (addr, bytes) in &build.setup.mem_init {
         m.mem.write_bytes(*addr, bytes).unwrap();
     }
@@ -37,48 +47,61 @@ fn run_engine(build: &KernelBuild, cfg: MachineConfig, reference: bool, label: &
     for (r, v) in &build.setup.mm_init {
         m.regs.write_mm(*r, *v);
     }
-    let stats = if reference { m.run_reference(&build.program) } else { m.run(&build.program) }
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let stats = m.run(&build.program).unwrap_or_else(|e| panic!("{label}: {e}"));
     build.check(&m, label).unwrap_or_else(|e| panic!("golden mismatch: {e}"));
     stats
 }
 
 fn assert_engines_agree(build: &KernelBuild, cfg: &MachineConfig, label: &str) {
-    let decoded = run_engine(build, cfg.clone(), false, &format!("{label}/decoded"));
-    let reference = run_engine(build, cfg.clone(), true, &format!("{label}/reference"));
-    assert_eq!(decoded, reference, "SimStats diverge for {label}");
-}
-
-/// MMX-only baseline: every suite kernel, decoded ≡ reference.
-#[test]
-fn baseline_suite_decoded_equals_reference() {
-    for e in full_suite() {
-        let build = e.kernel.build(e.blocks_small);
-        let label = format!("{}/mmx", e.kernel.name());
-        assert_engines_agree(&build, &MachineConfig::mmx_only(), &label);
+    let reference = run_engine(build, cfg, ExecEngine::Reference, &format!("{label}/reference"));
+    for (engine, name) in [(ExecEngine::Decoded, "decoded"), (ExecEngine::Threaded, "threaded")] {
+        let got = run_engine(build, cfg, engine, &format!("{label}/{name}"));
+        assert_eq!(got, reference, "SimStats diverge for {label}/{name}");
     }
 }
 
-/// SPU-lifted variants under shapes A, B and D: the runs route operands
-/// through the crossbar, so the dynamic (mask-based) pairing and
-/// scoreboard paths are exercised, not just the static fast path. Shape
-/// B exercises the register-compacted lifts (SAD's renamed widening
-/// network) end to end on both engines.
+/// MMX-only baseline: every suite kernel, all three engines, in both the
+/// builder's emission order and the list-scheduled order.
 #[test]
-fn spu_suite_decoded_equals_reference() {
-    for shape in [SHAPE_A, SHAPE_B, SHAPE_D] {
+fn baseline_suite_engines_agree() {
+    for e in full_suite() {
+        let build = e.kernel.build(e.blocks_small);
+        let cfg = MachineConfig::mmx_only();
+        assert_engines_agree(&build, &cfg, &format!("{}/mmx", e.kernel.name()));
+
+        let (scheduled, _) = subword_compile::schedule_program(&build.program);
+        let sched_build = KernelBuild {
+            program: scheduled,
+            setup: build.setup.clone(),
+            expected: build.expected.clone(),
+        };
+        assert_engines_agree(&sched_build, &cfg, &format!("{}/mmx-sched", e.kernel.name()));
+    }
+}
+
+/// SPU-lifted variants under shapes A–D, unscheduled and scheduled: the
+/// runs route operands through the crossbar, so the dynamic (mask-based)
+/// pairing/scoreboard paths and the translator's routing-walk signatures
+/// are exercised, not just the straight-routing fast path.
+#[test]
+fn spu_suite_engines_agree() {
+    for shape in [SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D] {
         for e in full_suite() {
             let base = e.kernel.build(e.blocks_small);
             let lifted = lift_permutes(&base.program, &shape)
                 .unwrap_or_else(|err| panic!("{}: {err}", e.kernel.name()));
-            let build = KernelBuild {
-                program: lifted.program,
-                setup: base.setup.clone(),
-                expected: base.expected.clone(),
-            };
             let cfg = MachineConfig::with_spu(shape);
-            let label = format!("{}/spu-{}", e.kernel.name(), shape.name);
-            assert_engines_agree(&build, &cfg, &label);
+            for (program, variant) in
+                [(lifted.program, "spu"), (lifted.scheduled.program, "spu-sched")]
+            {
+                let build = KernelBuild {
+                    program,
+                    setup: base.setup.clone(),
+                    expected: base.expected.clone(),
+                };
+                let label = format!("{}/{variant}-{}", e.kernel.name(), shape.name);
+                assert_engines_agree(&build, &cfg, &label);
+            }
         }
     }
 }
@@ -88,10 +111,14 @@ fn spu_suite_decoded_equals_reference() {
 #[test]
 fn engines_agree_on_max_cycles_fault() {
     let p = subword_isa::asm::assemble("t", "l:\n jmp l\n halt\n").unwrap();
-    let cfg = MachineConfig { max_cycles: 1000, ..Default::default() };
-    let mut a = Machine::new(cfg.clone());
-    let mut b = Machine::new(cfg);
-    let ea = a.run(&p).unwrap_err();
-    let eb = b.run_reference(&p).unwrap_err();
-    assert_eq!(format!("{ea}"), format!("{eb}"));
+    let base = MachineConfig { max_cycles: 1000, ..Default::default() };
+    let faults: Vec<String> = [ExecEngine::Reference, ExecEngine::Decoded, ExecEngine::Threaded]
+        .into_iter()
+        .map(|engine| {
+            let mut m = Machine::new(MachineConfig { engine, ..base.clone() });
+            m.run(&p).unwrap_err().to_string()
+        })
+        .collect();
+    assert_eq!(faults[0], faults[1]);
+    assert_eq!(faults[0], faults[2]);
 }

@@ -46,6 +46,33 @@ impl Default for SpuContext {
     }
 }
 
+impl SpuContext {
+    /// The routing the state supplies to the instruction issued while it
+    /// is current.
+    fn routing_of(&self, state: u8) -> StepRouting {
+        let s = self.states[state as usize];
+        StepRouting { route_a: s.route_a, route_b: s.route_b, mode_a: s.mode_a, mode_b: s.mode_b }
+    }
+
+    /// One controller step from `(state, counters)`: decrement the
+    /// state's counter; zero takes the `NextState0` arc and auto-reloads
+    /// the counter. This is **the** counter/arc arithmetic —
+    /// [`SpuController::on_issue`], the peek methods and
+    /// [`ControllerWalk`] all call it, so a model walk can never drift
+    /// from the live controller.
+    fn advance(&self, state: u8, mut counters: [u32; 2]) -> (u8, [u32; 2]) {
+        let s = self.states[state as usize];
+        let c = (s.cntr & 1) as usize;
+        counters[c] = counters[c].saturating_sub(1);
+        if counters[c] == 0 {
+            counters[c] = self.counter_init[c];
+            (s.next0, counters)
+        } else {
+            (s.next1, counters)
+        }
+    }
+}
+
 /// The routing decision for one issued instruction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StepRouting {
@@ -194,27 +221,15 @@ impl SpuController {
         if !self.go {
             return StepRouting::default();
         }
-        let s = self.contexts[self.active].states[self.state as usize];
-        let routing = StepRouting {
-            route_a: s.route_a,
-            route_b: s.route_b,
-            mode_a: s.mode_a,
-            mode_b: s.mode_b,
-        };
+        let ctx = &self.contexts[self.active];
+        let routing = ctx.routing_of(self.state);
         self.usage.steps += 1;
         if routing.routes_anything() {
             self.usage.routed_steps += 1;
         }
-        // Counter semantics: decrement the selected counter; zero takes
-        // the NextState0 arc and auto-reloads the counter.
-        let c = (s.cntr & 1) as usize;
-        self.counters[c] = self.counters[c].saturating_sub(1);
-        if self.counters[c] == 0 {
-            self.counters[c] = self.contexts[self.active].counter_init[c];
-            self.state = s.next0;
-        } else {
-            self.state = s.next1;
-        }
+        let (state, counters) = ctx.advance(self.state, self.counters);
+        self.state = state;
+        self.counters = counters;
         if self.state == IDLE_STATE {
             // Idle: disable and leave counters at their (re-initialised)
             // values.
@@ -238,21 +253,12 @@ impl SpuController {
         let mut state = self.state;
         let mut counters = self.counters;
         for _ in 0..n {
-            let s = ctx.states[state as usize];
-            let c = (s.cntr & 1) as usize;
-            counters[c] = counters[c].saturating_sub(1);
-            if counters[c] == 0 {
-                counters[c] = ctx.counter_init[c];
-                state = s.next0;
-            } else {
-                state = s.next1;
-            }
+            (state, counters) = ctx.advance(state, counters);
             if state == IDLE_STATE {
                 return StepRouting::default();
             }
         }
-        let s = ctx.states[state as usize];
-        StepRouting { route_a: s.route_a, route_b: s.route_b, mode_a: s.mode_a, mode_b: s.mode_b }
+        ctx.routing_of(state)
     }
 
     /// The routings for the next **two** issued instructions, in one
@@ -260,33 +266,22 @@ impl SpuController {
     /// without redoing the first step's counter arithmetic. The pipeline
     /// calls this once per issue slot during pairing analysis.
     pub fn peek_routing_pair(&self) -> (StepRouting, StepRouting) {
-        if !self.go {
-            return (StepRouting::default(), StepRouting::default());
+        let walk = self.walk();
+        (walk.current_routing(), walk.next_routing())
+    }
+
+    /// A pure model of the controller's walk from its current live state:
+    /// the same `(go, state, counters)` triple advanced by the same
+    /// `SpuContext::advance` arithmetic, but detached from the
+    /// controller so a caller can run it arbitrarily far ahead (the trace
+    /// translator pre-resolves a whole region's routings this way).
+    pub fn walk(&self) -> ControllerWalk<'_> {
+        ControllerWalk {
+            ctx: &self.contexts[self.active],
+            go: self.go,
+            state: self.state,
+            counters: self.counters,
         }
-        let ctx = &self.contexts[self.active];
-        let s0 = ctx.states[self.state as usize];
-        let r0 = StepRouting {
-            route_a: s0.route_a,
-            route_b: s0.route_b,
-            mode_a: s0.mode_a,
-            mode_b: s0.mode_b,
-        };
-        // Advance one step (counter reloads don't affect the *next*
-        // state's routing, only where a further walk would go).
-        let c = (s0.cntr & 1) as usize;
-        let next = if self.counters[c].saturating_sub(1) == 0 { s0.next0 } else { s0.next1 };
-        let r1 = if next == IDLE_STATE {
-            StepRouting::default()
-        } else {
-            let s1 = ctx.states[next as usize];
-            StepRouting {
-                route_a: s1.route_a,
-                route_b: s1.route_b,
-                mode_a: s1.mode_a,
-                mode_b: s1.mode_b,
-            }
-        };
-        (r0, r1)
     }
 
     /// Window base register of the active context.
@@ -297,6 +292,85 @@ impl SpuController {
     /// Name of the program loaded in the active context.
     pub fn active_program_name(&self) -> &str {
         &self.contexts[self.active].program_name
+    }
+}
+
+/// A detached, side-effect-free copy of the controller's run state (see
+/// [`SpuController::walk`]). [`ControllerWalk::step`] mirrors
+/// [`SpuController::on_issue`] exactly — same routing, same arc taken,
+/// same go-clear on idle — minus the usage counters, so stepping a walk
+/// `n` times then reading [`ControllerWalk::current_routing`] equals
+/// `peek_routing(n)`.
+#[derive(Clone, Debug)]
+pub struct ControllerWalk<'a> {
+    ctx: &'a SpuContext,
+    go: bool,
+    state: u8,
+    counters: [u32; 2],
+}
+
+impl ControllerWalk<'_> {
+    /// True while the modelled controller is live.
+    pub fn is_active(&self) -> bool {
+        self.go
+    }
+
+    /// The routing the next issued instruction would receive.
+    pub fn current_routing(&self) -> StepRouting {
+        if !self.go {
+            return StepRouting::default();
+        }
+        self.ctx.routing_of(self.state)
+    }
+
+    /// The routing the instruction *after* next would receive —
+    /// `(current_routing, next_routing)` is exactly
+    /// [`SpuController::peek_routing_pair`].
+    pub fn next_routing(&self) -> StepRouting {
+        if !self.go {
+            return StepRouting::default();
+        }
+        let (next, _) = self.ctx.advance(self.state, self.counters);
+        if next == IDLE_STATE {
+            StepRouting::default()
+        } else {
+            self.ctx.routing_of(next)
+        }
+    }
+
+    /// Advance the walk by one issued instruction, returning the routing
+    /// that instruction receives.
+    pub fn step(&mut self) -> StepRouting {
+        if !self.go {
+            return StepRouting::default();
+        }
+        let routing = self.ctx.routing_of(self.state);
+        let (state, counters) = self.ctx.advance(self.state, self.counters);
+        self.state = state;
+        self.counters = counters;
+        if self.state == IDLE_STATE {
+            self.go = false;
+        }
+        routing
+    }
+
+    /// The signature the machine checks between the two slots of a pair:
+    /// a pairing decision is cancelled when issuing the first slot changes
+    /// it (the live-controller equivalent compares
+    /// `(is_active, activations, active_context)`; a walk has no MMIO
+    /// surface, so only the go bit can change).
+    pub fn go_bit(&self) -> bool {
+        self.go
+    }
+
+    /// Current modelled state id.
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Current modelled counter values.
+    pub fn counters(&self) -> [u32; 2] {
+        self.counters
     }
 }
 
@@ -407,6 +481,31 @@ mod tests {
             c.on_issue();
         }
         assert_eq!(c.peek_routing_pair(), (StepRouting::default(), StepRouting::default()));
+    }
+
+    /// A detached walk tracks the live controller step for step: same
+    /// routings, same idle transition, and `(current, next)` routing
+    /// matches `peek_routing_pair` throughout.
+    #[test]
+    fn walk_mirrors_live_controller() {
+        let mut model = SpuController::new(SHAPE_D);
+        model.load_program(0, &dot_program()).unwrap();
+        assert_eq!(model.walk().current_routing(), StepRouting::default());
+        model.activate();
+        let mut live = model.clone();
+        let mut walk = model.walk();
+        for step in 0..=30 {
+            assert_eq!(walk.is_active(), live.is_active(), "go bit diverged at step {step}");
+            assert_eq!(walk.state(), live.current_state(), "state diverged at step {step}");
+            assert_eq!(walk.counters(), live.counters(), "counters diverged at step {step}");
+            assert_eq!(
+                (walk.current_routing(), walk.next_routing()),
+                live.peek_routing_pair(),
+                "peek pair diverged at step {step}"
+            );
+            assert_eq!(walk.step(), live.on_issue(), "routing diverged at step {step}");
+        }
+        assert!(!walk.is_active());
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub fn in_mmio_range(addr: u32) -> bool {
     (SPU_MMIO_BASE..SPU_MMIO_BASE.wrapping_add(SPU_MMIO_SIZE)).contains(&addr)
 }
 
+/// Does a store to `addr` stage **microcode** (state-table bytes), as
+/// opposed to the control registers — CONFIG, counters, entry state —
+/// in a context's first [`STATE_TABLE_OFF`] bytes? Control-register
+/// effects are fully visible in the controller's observable state
+/// (go/context/state/counters), which trace-translation entry
+/// signatures capture; only microcode writes can change a state's
+/// routing behind an unchanged signature, so only they need to
+/// invalidate cached traces.
+#[inline]
+pub fn store_stages_microcode(addr: u32) -> bool {
+    in_mmio_range(addr) && (addr - SPU_MMIO_BASE) % CONTEXT_STRIDE >= STATE_TABLE_OFF
+}
+
 /// Staging image for one context (raw bytes written by software).
 #[derive(Clone)]
 struct Staging {

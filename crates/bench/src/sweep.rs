@@ -329,6 +329,16 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepRun, String> {
     run_sweep_with_cache(cfg, &CompileCache::new())
 }
 
+/// Best-effort text of a caught panic payload (`panic!` hands us a
+/// `&str` or a `String`; anything else is opaque).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 /// [`run_sweep`] against a caller-owned [`CompileCache`], so several
 /// sweeps over the same kernels — e.g. the sensitivity study's one run
 /// per machine configuration — share compiled artifacts (compilation is
@@ -363,15 +373,24 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
                 let key = entry.kernel.name();
                 let lift =
                     |program: &Program, shape: &CrossbarShape| cache.lift(key, program, shape);
-                let outcome = measure_with_config_opts(
-                    entry.kernel,
-                    entry.blocks_small * scale,
-                    entry.blocks_large * scale,
-                    &shape,
-                    &cfg.base,
-                    &lift,
-                    cfg.measure_scheduled,
-                )
+                // Contain panics to the cell: a kernel (or a compile
+                // stage under it) that panics must cost exactly one
+                // failed measurement, not the worker thread — an
+                // unwinding worker would leave every remaining slot
+                // unfilled and re-panic the scope join, poisoning the
+                // whole sweep.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    measure_with_config_opts(
+                        entry.kernel,
+                        entry.blocks_small * scale,
+                        entry.blocks_large * scale,
+                        &shape,
+                        &cfg.base,
+                        &lift,
+                        cfg.measure_scheduled,
+                    )
+                }))
+                .unwrap_or_else(|payload| Err(format!("panicked: {}", panic_text(&*payload))))
                 .map(|measurement| SweepMeasurement { kernel: key, shape, scale, measurement })
                 .map_err(|err| format!("{key}/shape {}: {err}", shape.name));
                 *results[i].lock().expect("result slot poisoned") = Some(outcome);

@@ -3,9 +3,11 @@
 //! independent per-shape suite runs, and reports must survive JSON.
 
 use subword_bench::run_suite;
-use subword_bench::sweep::{run_sweep, CacheStats, CompileCache, SweepConfig, SweepReport};
-use subword_kernels::framework::{measure, measure_with};
-use subword_kernels::suite::{dotprod_example, paper_suite};
+use subword_bench::sweep::{
+    run_sweep, run_sweep_with_cache, CacheStats, CompileCache, SweepConfig, SweepReport,
+};
+use subword_kernels::framework::{measure, measure_with, Kernel, KernelBuild};
+use subword_kernels::suite::{dotprod_example, paper_suite, Family, SuiteEntry};
 use subword_spu::crossbar::CANONICAL_SHAPES;
 use subword_spu::{SHAPE_A, SHAPE_D};
 
@@ -172,6 +174,48 @@ fn family_selection_and_family_column() {
     // A family name the parser does not know is rejected.
     let broken = run.report.to_json().replace("\"pixel\"", "\"voxel\"");
     assert!(SweepReport::from_json(&broken).is_err());
+}
+
+/// A kernel that panics during `build` — standing in for any panic
+/// under a measurement (kernel construction, compile stage, simulator).
+struct PanickingKernel;
+
+impl Kernel for PanickingKernel {
+    fn name(&self) -> &'static str {
+        "Panicker"
+    }
+    fn build(&self, _blocks: u64) -> KernelBuild {
+        panic!("deliberate test panic in build");
+    }
+    fn family(&self) -> Family {
+        Family::Paper
+    }
+}
+
+static PANICKER: PanickingKernel = PanickingKernel;
+
+/// (f) A panicking measurement costs exactly its own cell: the sweep
+/// reports it as a structured error naming the kernel, shape and panic
+/// message, and the worker pool keeps draining the remaining jobs
+/// (proved by the cache compiling the kernel queued *after* the
+/// panicking one on a single worker thread).
+#[test]
+fn a_panicking_kernel_costs_one_cell_not_the_pool() {
+    let mut cfg = SweepConfig::paper(&[SHAPE_A]);
+    cfg.entries =
+        vec![SuiteEntry { kernel: &PANICKER, blocks_small: 1, blocks_large: 2 }, dotprod_example()];
+    cfg.threads = Some(1);
+
+    let cache = CompileCache::new();
+    let Err(err) = run_sweep_with_cache(&cfg, &cache) else {
+        panic!("a panicking cell must surface as a sweep error");
+    };
+    assert!(err.contains("Panicker/shape A"), "error must name the failing cell: {err}");
+    assert!(err.contains("panicked: deliberate test panic in build"), "{err}");
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "the kernel after the panic must still have compiled");
+    assert_eq!(stats.stale_fallbacks, 0);
 }
 
 /// (d) The v3 scheduled columns hold the orchestration claims: the list

@@ -140,16 +140,11 @@ pub fn resolve_byte(
     let len = body.len();
     let mut cur_reg = reg;
     let mut cur_byte = byte;
-    let mut first_hop: Option<usize> = None;
-    // Distance (backwards from `pos`) after which `cur_reg` last changed;
-    // the clobber check below only needs to re-scan closer positions.
-    let mut last_change_d = 0usize;
-    // Distance of the most recent hop of *any* kind: positions closer
-    // than this were scanned before the hop moved the time cursor, so on
-    // exhaustion they must be re-examined for deleted writers (the hop
-    // instruction itself included — a self-referential permute is a
-    // recurrence no static route can express).
-    let mut last_hop_d = 0usize;
+    // `Some` exactly when at least one deleted permute was traversed —
+    // the chain-failure variants blame a hop, so carrying the trail as
+    // one value makes "a failure implies a hop" true by construction
+    // instead of by `expect`.
+    let mut hops: Option<Hops> = None;
     let mut d = 1usize;
     while d <= len {
         let q = (pos + len - d) % len;
@@ -162,8 +157,8 @@ pub fn resolve_byte(
                 if d > pos {
                     return Err(ChainFail::WrappedHop { hop: q });
                 }
-                first_hop.get_or_insert(q);
-                last_hop_d = d;
+                let trail = hops.get_or_insert(Hops { first: q, last_d: 0, changed_d: 0 });
+                trail.last_d = d;
                 match perm_byte(ins, cur_byte as usize) {
                     PermSrc::A(b) => {
                         // Reads its own destination's prior value: same
@@ -176,7 +171,7 @@ pub fn resolve_byte(
                         };
                         if *s != cur_reg {
                             cur_reg = *s;
-                            last_change_d = d;
+                            trail.changed_d = d;
                         }
                         cur_byte = b;
                     }
@@ -187,16 +182,7 @@ pub fn resolve_byte(
             // Kept writer: that value sits in `cur_reg` at the consumer
             // unless something closer to the consumer (scanned while we
             // were tracking a different register) also writes `cur_reg`.
-            return finish(
-                body,
-                removal,
-                pos,
-                cur_reg,
-                cur_byte,
-                first_hop,
-                last_change_d,
-                Some(q),
-            );
+            return finish(body, removal, pos, cur_reg, cur_byte, hops, Some(q));
         }
         d += 1;
     }
@@ -211,45 +197,64 @@ pub fn resolve_byte(
     //   consumer — `finish`'s clobber scan rejects it.
     //
     // With no writers anywhere, `cur_reg` is genuinely loop-invariant.
-    if last_hop_d > 0 {
-        let deleted_writer_exists = (1..=last_hop_d).any(|d| {
+    if let Some(trail) = &hops {
+        let deleted_writer_exists = (1..=trail.last_d).any(|d| {
             let q = (pos + len - d) % len;
             removal.contains(&q) && mm_write(&body[q]) == Some(cur_reg)
         });
         if deleted_writer_exists {
-            return Err(ChainFail::MultiIterationChain {
-                first_hop: first_hop.expect("hop distance implies a hop"),
-            });
+            return Err(ChainFail::MultiIterationChain { first_hop: trail.first });
         }
     }
-    finish(body, removal, pos, cur_reg, cur_byte, first_hop, last_change_d, None)
+    finish(body, removal, pos, cur_reg, cur_byte, hops, None)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The hop trail of one [`resolve_byte`] walk. Existing at all proves a
+/// deleted permute was traversed, which is exactly what the blaming
+/// chain-failure variants need.
+struct Hops {
+    /// Body position of the hop nearest the consumer (the blame anchor).
+    first: usize,
+    /// Distance (backwards from the consumer) of the most recent hop of
+    /// *any* kind: positions closer than this were scanned before the
+    /// hop moved the time cursor, so on exhaustion they must be
+    /// re-examined for deleted writers (the hop instruction itself
+    /// included — a self-referential permute is a recurrence no static
+    /// route can express).
+    last_d: usize,
+    /// Distance after which the tracked register last changed; the
+    /// clobber check in [`finish`] only needs to re-scan closer
+    /// positions. Zero while the walk never left the original register.
+    changed_d: usize,
+}
+
 fn finish(
     body: &[Instr],
     removal: &BTreeSet<usize>,
     pos: usize,
     reg: MmReg,
     byte: u8,
-    first_hop: Option<usize>,
-    last_change_d: usize,
+    hops: Option<Hops>,
     def: Option<usize>,
 ) -> Result<ResolvedByte, ChainFail> {
     let len = body.len();
     // Positions between the consumer and the point where `reg` became the
     // tracked register were scanned while tracking a different register;
-    // a kept write to `reg` there clobbers the route.
-    for d in 1..last_change_d {
-        let q = (pos + len - d) % len;
-        if !removal.contains(&q) && mm_write(&body[q]) == Some(reg) {
-            return Err(ChainFail::Clobbered {
-                first_hop: first_hop.expect("clobber implies at least one hop"),
-                by: q,
-            });
+    // a kept write to `reg` there clobbers the route. (`changed_d` > 0
+    // only ever happens on a hop, so blaming `trail.first` is total.)
+    if let Some(trail) = &hops {
+        for d in 1..trail.changed_d {
+            let q = (pos + len - d) % len;
+            if !removal.contains(&q) && mm_write(&body[q]) == Some(reg) {
+                return Err(ChainFail::Clobbered { first_hop: trail.first, by: q });
+            }
         }
     }
-    Ok(ResolvedByte { src: reg.file_byte(byte as usize) as u8, first_hop, def })
+    Ok(ResolvedByte {
+        src: reg.file_byte(byte as usize) as u8,
+        first_hop: hops.map(|h| h.first),
+        def,
+    })
 }
 
 /// Byte-read masks for the two operand positions of a routable

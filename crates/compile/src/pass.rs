@@ -269,7 +269,14 @@ pub(crate) fn transform_with(
             reports.push(rep);
             continue;
         }
-        let trips = l.trip_count.unwrap();
+        // `check_loop` returned `None`, which implies a static trip
+        // count — but stay graceful if that invariant ever drifts: a
+        // dynamic-trip loop is a skip, never a panic.
+        let Some(trips) = l.trip_count else {
+            rep.status = LoopStatus::DynamicTripCount;
+            reports.push(rep);
+            continue;
+        };
 
         match planner(program, l, trips, ordinal, next_ctx) {
             Some(plan) => {

@@ -366,7 +366,14 @@ pub(crate) fn schedule_regions(
             out.instrs[region.start + new] = program.instrs[region.start + old];
         }
     }
-    out.validate().expect("region scheduling preserves structural validity");
+    // Reordering within straight-line regions cannot break structural
+    // validity — but if that invariant ever drifts (a new instruction
+    // class, a region boundary bug), fall back to the unscheduled
+    // program instead of panicking mid-pipeline: a missed scheduling
+    // opportunity is honest, a panic kills the campaign's worker.
+    if out.validate().is_err() {
+        return (program.clone(), ScheduleReport::default());
+    }
     (out, report)
 }
 

@@ -1,0 +1,90 @@
+//! Regression tests for the panic sites the fuzzing audit (PR 7)
+//! hardened: adversarial, generator-shaped inputs must come back as
+//! structured skips/rejections, never as panics.
+
+use subword_compile::{lift_permutes, schedule_program, LoopStatus};
+use subword_isa::mem::Mem;
+use subword_isa::op::{AluOp, Cond, MmxOp};
+use subword_isa::reg::gp::*;
+use subword_isa::reg::MmReg::*;
+use subword_isa::{Program, ProgramBuilder};
+use subword_spu::mmio::SPU_MMIO_BASE;
+use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_D};
+
+/// A loop whose only lift candidate is a self-referential permute — its
+/// copy chain is a cross-iteration recurrence no static route can
+/// express. The resolver must blame and un-delete it (the loop then has
+/// nothing removable), not trip an internal invariant.
+fn self_referential_permute_loop() -> Program {
+    let mut b = ProgramBuilder::new("self-ref");
+    b.mov_ri(R0, 8);
+    let l = b.bind_here("loop");
+    b.mmx_rr(MmxOp::Punpcklwd, MM0, MM0);
+    b.mmx_rr(MmxOp::Paddw, MM1, MM0);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(8));
+    b.halt();
+    b.finish().unwrap()
+}
+
+#[test]
+fn self_referential_permute_rejects_instead_of_panicking() {
+    for shape in [SHAPE_A, SHAPE_B, SHAPE_D] {
+        let r = lift_permutes(&self_referential_permute_loop(), &shape).unwrap();
+        assert_eq!(r.report.loops.len(), 1);
+        assert_eq!(r.report.loops[0].status, LoopStatus::NothingRemovable);
+        assert_eq!(r.report.removed_static, 0);
+    }
+}
+
+/// Candidates present but no static trip count: a structured skip. The
+/// rewrite layer sees zero plans, so the program comes back unchanged.
+#[test]
+fn dynamic_trip_count_with_candidates_is_a_structured_skip() {
+    let mut b = ProgramBuilder::new("dyn-trips");
+    b.mov_ri(R0, 16);
+    let l = b.bind_here("loop");
+    b.movq_rr(MM1, MM0);
+    b.mmx_rr(MmxOp::Punpckhwd, MM1, MM2);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, None);
+    b.halt();
+    let p = b.finish().unwrap();
+
+    let r = lift_permutes(&p, &SHAPE_A).unwrap();
+    assert_eq!(r.report.loops[0].status, LoopStatus::DynamicTripCount);
+    assert_eq!(r.program.instrs, p.instrs);
+}
+
+/// Generator-shaped program: interior label (multi-region body), MMIO
+/// staging stores in the loop, scalar/MMX mix. The scheduler must
+/// return a structurally valid program with the same instruction
+/// multiset — and its fallback path guarantees validity even if a
+/// future region bug slips in.
+#[test]
+fn scheduling_a_multi_region_mmio_body_preserves_validity() {
+    let mut b = ProgramBuilder::new("multi-region");
+    b.mov_ri(R0, 5);
+    let l = b.bind_here("loop");
+    b.mmx_rr(MmxOp::Paddsw, MM0, MM1);
+    b.mmx_rr(MmxOp::Punpcklbw, MM2, MM3);
+    b.store_imm(Mem::abs(SPU_MMIO_BASE + 0x108), 0xdead);
+    b.bind_here("split");
+    b.mmx_rr(MmxOp::Psubusb, MM4, MM5);
+    b.alu_rr(AluOp::Xor, R2, R3);
+    b.alu_ri(AluOp::Sub, R0, 1);
+    b.jcc(Cond::Ne, l);
+    b.mark_loop(l, Some(5));
+    b.halt();
+    let p = b.finish().unwrap();
+
+    let (scheduled, _report) = schedule_program(&p);
+    scheduled.validate().expect("scheduled program stays valid");
+    let mut before: Vec<String> = p.instrs.iter().map(|i| format!("{i:?}")).collect();
+    let mut after: Vec<String> = scheduled.instrs.iter().map(|i| format!("{i:?}")).collect();
+    before.sort();
+    after.sort();
+    assert_eq!(before, after, "scheduling must permute, not rewrite");
+}

@@ -1,0 +1,147 @@
+//! Structural minimizer for failing cases.
+//!
+//! The vendored proptest deliberately has no shrinking, so the fuzz
+//! crate carries its own. Minimization operates on the [`FuzzCase`]
+//! *data* — never on seeds — so every candidate is well-formed by
+//! construction and the oracle re-checks it directly:
+//!
+//! 1. **delete-steps** — ddmin-style chunk deletion over the step list,
+//!    halving chunk size down to single steps;
+//! 2. **reduce-trip-count** — drive the loop trip count toward 2 (the
+//!    smallest count that still exercises the back edge);
+//! 3. **drop-split** — remove the interior label if the failure
+//!    survives without it;
+//! 4. **narrow-constants** — zero the memory-image seed, zero the MMX
+//!    initial registers one at a time, and shrink per-step immediates.
+//!
+//! Passes repeat until a full round changes nothing. Every accepted
+//! candidate still reproduces the failure (`fails` returned `true`), so
+//! the result is exactly as failing as the input — just smaller.
+
+use crate::gen::{FuzzCase, Step};
+
+/// How the minimizer shrank a case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinimizeReport {
+    /// Candidates tried.
+    pub attempts: usize,
+    /// Candidates that still failed (accepted shrinks).
+    pub accepted: usize,
+    /// Instruction count before.
+    pub before: usize,
+    /// Instruction count after.
+    pub after: usize,
+}
+
+/// Shrink `case` while `fails` keeps returning `true` for the shrunk
+/// candidate. `fails(case)` must be `true` on entry; the returned case
+/// is the smallest failing case found.
+pub fn minimize(case: &FuzzCase, fails: &dyn Fn(&FuzzCase) -> bool) -> (FuzzCase, MinimizeReport) {
+    let mut best = case.clone();
+    let mut report = MinimizeReport { before: case.instruction_count(), ..Default::default() };
+    debug_assert!(fails(&best), "minimize() called on a passing case");
+
+    // One accept-if-still-failing step, shared by every pass.
+    let try_accept = |best: &mut FuzzCase, candidate: FuzzCase, report: &mut MinimizeReport| {
+        report.attempts += 1;
+        if fails(&candidate) {
+            *best = candidate;
+            report.accepted += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let round_start = report.accepted;
+
+        // -- delete-steps: remove chunks, halving the chunk size. --------
+        let mut chunk = best.steps.len().max(1).next_power_of_two();
+        while chunk >= 1 {
+            let mut at = 0;
+            while at < best.steps.len() {
+                let end = (at + chunk).min(best.steps.len());
+                let mut candidate = best.clone();
+                candidate.steps.drain(at..end);
+                candidate.normalize();
+                if !try_accept(&mut best, candidate, &mut report) {
+                    at = end;
+                }
+                // On success the steps after `at` shifted down into place,
+                // so `at` stays put and the next chunk is examined.
+            }
+            chunk /= 2;
+        }
+
+        // -- reduce-trip-count: try the floor, then halves. ---------------
+        while best.trips > 2 {
+            let mut candidate = best.clone();
+            candidate.trips = 2;
+            if try_accept(&mut best, candidate, &mut report) {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.trips = (best.trips / 2).max(2);
+            if candidate.trips == best.trips || !try_accept(&mut best, candidate, &mut report) {
+                break;
+            }
+        }
+
+        // -- drop-split ---------------------------------------------------
+        if best.split.is_some() {
+            let mut candidate = best.clone();
+            candidate.split = None;
+            try_accept(&mut best, candidate, &mut report);
+        }
+
+        // -- narrow-constants ---------------------------------------------
+        if best.mem_seed != 0 {
+            let mut candidate = best.clone();
+            candidate.mem_seed = 0;
+            try_accept(&mut best, candidate, &mut report);
+        }
+        for i in 0..8 {
+            if best.mm_init[i] != 0 {
+                let mut candidate = best.clone();
+                candidate.mm_init[i] = 0;
+                try_accept(&mut best, candidate, &mut report);
+            }
+        }
+        for i in 0..best.steps.len() {
+            for narrowed in narrow_step(&best.steps[i]) {
+                if narrowed == best.steps[i] {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate.steps[i] = narrowed;
+                try_accept(&mut best, candidate, &mut report);
+            }
+        }
+
+        if report.accepted == round_start {
+            break;
+        }
+    }
+
+    report.after = best.instruction_count();
+    (best, report)
+}
+
+/// Smaller-immediate variants of one step, in preference order.
+fn narrow_step(step: &Step) -> Vec<Step> {
+    match *step {
+        Step::AluImm { op, dst, imm } if imm != 0 => vec![
+            Step::AluImm { op, dst, imm: 0 },
+            Step::AluImm { op, dst, imm: 1 },
+            Step::AluImm { op, dst, imm: imm / 2 },
+        ],
+        Step::MmxImm { op, dst, imm } if imm != 0 => {
+            vec![Step::MmxImm { op, dst, imm: 0 }, Step::MmxImm { op, dst, imm: 1 }]
+        }
+        Step::MmioStore { ctx, off, imm } if imm != 0 => {
+            vec![Step::MmioStore { ctx, off, imm: 0 }, Step::MmioStore { ctx, off, imm: 1 }]
+        }
+        _ => Vec::new(),
+    }
+}

@@ -15,9 +15,12 @@
 //! `array::uniform{4,8,32}`, `collection::vec`, `option::of`,
 //! [`ProptestConfig`], [`TestCaseError`].
 //!
-//! Reproducibility: the seed is derived from the test name, or overridden
-//! globally with the `PROPTEST_SEED` environment variable (printed on
-//! failure).
+//! Reproducibility: the run seed is derived from the test name, or
+//! overridden globally with the `PROPTEST_SEED` environment variable. A
+//! failure prints the **per-case** seed — the generator state captured
+//! just before the failing case's draw — so
+//! `PROPTEST_SEED=<that value>` replays the failing inputs as case 1
+//! instead of re-running the whole prefix.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -79,7 +82,21 @@ impl TestRng {
                 (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
             }),
         };
-        (TestRng { state: seed }, seed)
+        (TestRng::from_seed(seed), seed)
+    }
+
+    /// Generator starting from an explicit seed (a captured
+    /// [`TestRng::state`] replays the draws made from that point).
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The raw generator state. Captured *before* a case's draw, this is
+    /// exactly the `PROPTEST_SEED` value that replays that case as
+    /// case 1 — SplitMix64 derives each output from the state alone, so
+    /// seeding a fresh generator with it resumes the same stream.
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit value.
@@ -436,6 +453,7 @@ macro_rules! proptest {
         let strat = ($($s,)*);
         let (mut rng, seed) = $crate::TestRng::from_env(stringify!($name));
         for case in 0..cfg.cases {
+            let case_seed = rng.state();
             let vals = $crate::Strategy::generate(&strat, &mut rng);
             let shown = format!("{:?}", vals);
             let ($($p,)*) = vals;
@@ -443,7 +461,7 @@ macro_rules! proptest {
                 (move || { $body ::std::result::Result::Ok(()) })();
             if let ::std::result::Result::Err(e) = outcome {
                 panic!(
-                    "property {} failed at case {}/{} (seed {seed}; rerun with PROPTEST_SEED={seed}):\n{}\ninputs: {}",
+                    "property {} failed at case {}/{} (run seed {seed}; replay just this case with PROPTEST_SEED={case_seed}):\n{}\ninputs: {}",
                     stringify!($name), case + 1, cfg.cases, e.0, shown
                 );
             }
@@ -499,6 +517,45 @@ mod tests {
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("forced"), "{msg}");
         assert!(msg.contains("inputs:"), "{msg}");
+    }
+
+    /// The failure message's `PROPTEST_SEED` value is the *per-case*
+    /// seed: exporting it replays the failing inputs as case 1, without
+    /// re-running the passing prefix.
+    #[test]
+    fn printed_case_seed_replays_the_failure_as_case_one() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[allow(unused)]
+            fn fails_eventually(a: u64) {
+                prop_assert!(a % 32 != 0, "hit a multiple of 32");
+            }
+        }
+
+        let msg = *std::panic::catch_unwind(fails_eventually)
+            .expect_err("1/32 density must fail within 256 cases")
+            .downcast::<String>()
+            .unwrap();
+        assert!(!msg.contains("failed at case 1/"), "need a failure past case 1: {msg}");
+        let tail = msg.split("PROPTEST_SEED=").nth(1).expect("case seed printed");
+        let case_seed: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let inputs = msg.split("inputs:").nth(1).expect("inputs printed").to_string();
+
+        // Seed-agnostic sibling tests tolerate this env var briefly
+        // existing; nothing else in this process reads it.
+        std::env::set_var("PROPTEST_SEED", &case_seed);
+        let replay = std::panic::catch_unwind(fails_eventually);
+        std::env::remove_var("PROPTEST_SEED");
+
+        let replay_msg = *replay
+            .expect_err("the captured case seed must still fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(replay_msg.contains("failed at case 1/"), "{replay_msg}");
+        assert!(
+            replay_msg.split("inputs:").nth(1) == Some(&inputs),
+            "replayed inputs differ:\n{replay_msg}\nvs\n{msg}"
+        );
     }
 
     proptest! {

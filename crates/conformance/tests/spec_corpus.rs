@@ -1,0 +1,51 @@
+//! The committed `docs/spec/` corpus is the conformance suite's
+//! headline deliverable: every page must pass on all three engines,
+//! and `conformance --update` must round-trip it unchanged.
+
+use std::path::PathBuf;
+
+use subword_conformance::{check_doc_text, harvest, spec_docs, update_doc_text};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/spec")
+}
+
+#[test]
+fn corpus_is_present_and_big_enough() {
+    let docs = spec_docs(&corpus_dir()).expect("docs/spec readable");
+    assert!(docs.len() >= 6, "want >= 6 spec pages, have {}", docs.len());
+    let mut cases = 0usize;
+    for path in &docs {
+        let text = std::fs::read_to_string(path).unwrap();
+        cases += harvest(&text).unwrap_or_else(|e| panic!("{}: {e:?}", path.display())).len();
+    }
+    assert!(cases >= 25, "want >= 25 cases across the corpus, have {cases}");
+}
+
+#[test]
+fn every_page_passes_on_all_engines() {
+    let docs = spec_docs(&corpus_dir()).expect("docs/spec readable");
+    let mut failures = Vec::new();
+    for path in &docs {
+        let text = std::fs::read_to_string(path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match check_doc_text(&name, &text) {
+            Ok(outcomes) => failures.extend(outcomes.into_iter().flat_map(|o| o.failures)),
+            Err(errs) => failures.extend(errs),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn update_round_trips_the_corpus_unchanged() {
+    let docs = spec_docs(&corpus_dir()).expect("docs/spec readable");
+    for path in &docs {
+        let text = std::fs::read_to_string(path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let (updated, changed) =
+            update_doc_text(&name, &text).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        assert_eq!(changed, 0, "{name}: --update would rewrite {changed} line(s)");
+        assert_eq!(updated, text, "{name}: --update would change the text");
+    }
+}

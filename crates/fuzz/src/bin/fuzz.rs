@@ -3,7 +3,7 @@
 //! ```text
 //! fuzz [--seed S] [--count N] [--shard i/n] [--failures-dir DIR]
 //!      [--corpus DIR] [--replay FILE] [--census N] [--emit S]
-//!      [--no-minimize]
+//!      [--emit-md S] [--no-minimize]
 //! ```
 //!
 //! Default run: replay the committed corpus (if `--corpus` points at
@@ -28,6 +28,7 @@ struct Args {
     replay_file: Option<PathBuf>,
     census: Option<u64>,
     emit: Option<u64>,
+    emit_md: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -42,6 +43,7 @@ fn usage() -> &'static str {
     \x20 --replay FILE      replay one repro file and exit\n\
     \x20 --census N         print generator feature rates over N cases and exit\n\
     \x20 --emit S           print seed S's case as a repro document and exit\n\
+    \x20 --emit-md S        print seed S's case as a literate conformance page and exit\n\
     \x20 --no-minimize      record failures unshrunk"
 }
 
@@ -52,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         replay_file: None,
         census: None,
         emit: None,
+        emit_md: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
             "--census" => args.census = Some(parse_u64(&value("--census")?)?),
             "--emit" => args.emit = Some(parse_u64(&value("--emit")?)?),
+            "--emit-md" => args.emit_md = Some(parse_u64(&value("--emit-md")?)?),
             "--no-minimize" => args.cfg.minimize_failures = false,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -117,6 +121,20 @@ fn main() -> ExitCode {
         println!("  multi-region     {:5.1}%", pct(c.multi_region));
         println!("  scalar ALU       {:5.1}%", pct(c.scalar));
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(seed) = args.emit_md {
+        let case = subword_fuzz::gen::generate(seed);
+        return match subword_fuzz::emit_md::emit_markdown(&case) {
+            Ok(page) => {
+                print!("{page}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fuzz: --emit-md {seed:#x}: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     if let Some(seed) = args.emit {

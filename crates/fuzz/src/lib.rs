@@ -21,6 +21,7 @@
 #![allow(clippy::result_large_err)]
 
 pub mod corpus;
+pub mod emit_md;
 pub mod gen;
 pub mod minimize;
 pub mod oracle;

@@ -12,6 +12,10 @@
 //! compiler's zero-overhead counters need. This lets complete, liftable
 //! kernels be written as plain text.
 //!
+//! The full syntax — every operand form, label rules, `.trips`, and the
+//! error messages — is documented in `docs/asm-reference.md` at the
+//! repository root.
+//!
 //! ```
 //! let p = subword_isa::asm::assemble("demo", r#"
 //!     mov r0, 4
@@ -146,7 +150,11 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
         text: String,
     }
     // First pass: collect labels, directives and instruction lines.
-    let mut labels: HashMap<String, usize> = HashMap::new();
+    // Labels keep *source order* (a `Vec`, with the map only for duplicate
+    // detection) so label ids — and therefore `L<id>` names and loop
+    // metadata — are deterministic across assemblies of the same text.
+    let mut labels: Vec<(String, usize)> = Vec::new();
+    let mut seen_labels: HashMap<String, ()> = HashMap::new();
     let mut pending: Vec<PendingInstr> = Vec::new();
     let mut trips: Vec<(usize, String, u64)> = Vec::new(); // (line, label, count)
     for (ln0, raw) in src.lines().enumerate() {
@@ -173,9 +181,10 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 return Err(err(line, format!("bad label `{text}`")));
             }
-            if labels.insert(label.to_string(), pending.len()).is_some() {
+            if seen_labels.insert(label.to_string(), ()).is_some() {
                 return Err(err(line, format!("duplicate label `{label}`")));
             }
+            labels.push((label.to_string(), pending.len()));
             continue;
         }
         pending.push(PendingInstr { line, text: text.to_string() });
@@ -413,10 +422,40 @@ fn resolve_label(
     Err(err(line, format!("unknown label `{name}`")))
 }
 
-/// Disassemble a program back to assembly text (round-trips through
-/// [`assemble`] up to label naming).
+/// Disassemble a program back to assembly text.
+///
+/// The output reassembles to an equivalent program: instructions,
+/// labels (including ones bound past the last instruction) and
+/// `.trips`-expressible loop metadata all survive the round trip. A loop
+/// whose head carries no label, whose trip count is unknown, or whose
+/// back edge is not the last branch targeting its head label cannot be
+/// expressed as a `.trips` directive and is dropped — the assembler
+/// grammar has no syntax for it.
+///
+/// ```
+/// use subword_isa::asm::{assemble, disassemble};
+///
+/// let src = ".trips top 8\n\
+///            mov r0, 8\n\
+///            top:\n\
+///            paddsw mm0, mm1\n\
+///            sub r0, 1\n\
+///            jnz top\n\
+///            halt\n";
+/// let p = assemble("demo", src).unwrap();
+/// let text = disassemble(&p);
+/// let q = assemble("demo", &text).unwrap();
+/// assert_eq!(p.instrs, q.instrs);
+/// assert_eq!(p.loops, q.loops);            // `.trips` metadata survives
+/// assert_eq!(text, disassemble(&q));       // text is a fixpoint
+/// ```
 pub fn disassemble(p: &Program) -> String {
     let mut out = String::new();
+    for l in &p.loops {
+        let Some(count) = l.trip_count else { continue };
+        let Some(name) = trips_label(p, l) else { continue };
+        out.push_str(&format!(".trips {name} {count}\n"));
+    }
     for (i, ins) in p.instrs.iter().enumerate() {
         for (li, pos) in p.label_pos.iter().enumerate() {
             if *pos == Some(i) {
@@ -437,7 +476,30 @@ pub fn disassemble(p: &Program) -> String {
         out.push_str(&line);
         out.push('\n');
     }
+    // Labels bound past the last instruction (a branch to the end is
+    // legal) would otherwise vanish and break reassembly.
+    for (li, pos) in p.label_pos.iter().enumerate() {
+        if *pos == Some(p.instrs.len()) {
+            out.push_str(&p.label_names[li]);
+            out.push_str(":\n");
+        }
+    }
     out
+}
+
+/// The label name a loop's `.trips` directive must use, if the loop is
+/// expressible: a label bound at the loop head whose *last* targeting
+/// branch is exactly the recorded back edge (that is how `assemble`
+/// reconstructs the back edge from the directive).
+fn trips_label(p: &Program, l: &crate::program::LoopInfo) -> Option<String> {
+    (0..p.label_pos.len()).find_map(|li| {
+        if p.label_pos[li] != Some(l.head) {
+            return None;
+        }
+        let label = Label(li as u32);
+        let back = p.instrs.iter().rposition(|i| i.branch_target() == Some(label))?;
+        (back == l.back_edge).then(|| p.label_names[li].clone())
+    })
 }
 
 #[cfg(test)]
@@ -594,5 +656,52 @@ mod tests {
         let text = disassemble(&p1);
         let p2 = assemble("rt", &text).unwrap();
         assert_eq!(p1.instrs, p2.instrs);
+    }
+
+    #[test]
+    fn roundtrip_preserves_trips_metadata() {
+        let src = r#"
+            .trips top 12
+            mov r0, 12
+        top:
+            paddsw mm0, mm1
+            sub r0, 1
+            jnz top
+            halt
+        "#;
+        let p1 = assemble("rt", src).unwrap();
+        let text = disassemble(&p1);
+        assert!(text.starts_with(".trips top 12\n"), "missing directive in:\n{text}");
+        let p2 = assemble("rt", &text).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+        assert_eq!(p1.loops, p2.loops);
+        assert_eq!(text, disassemble(&p2), "disassembly must be a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_preserves_trailing_label() {
+        // A branch to the end of the program is valid; its label is bound
+        // at `instrs.len()` and must survive disassembly.
+        let src = r#"
+            cmp r0, 0
+            je done
+            add r1, 1
+        done:
+        "#;
+        let p1 = assemble("rt", src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble("rt", &text).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+        assert_eq!(text, disassemble(&p2));
+    }
+
+    #[test]
+    fn label_ids_are_source_ordered() {
+        // Label ids follow source order deterministically, so two
+        // assemblies of the same text produce identical programs.
+        let src = "b:\n nop\na:\n nop\njmp b\njmp a\nhalt\n";
+        let p = assemble("t", src).unwrap();
+        assert_eq!(p.label_name(Label(0)), "b");
+        assert_eq!(p.label_name(Label(1)), "a");
     }
 }

@@ -27,6 +27,32 @@
 //! the scheduler and the trace translator must agree on what a region is
 //! (branch targets and MMIO barriers delimit them), so they share one
 //! definition.
+//!
+//! Replaying two independent adds dual-issues them in one cycle; making
+//! the second read the first's destination forces two single-issue
+//! cycles (the conformance page `docs/spec/03-pairing-and-scoreboard.md`
+//! pins the same behaviour on the full machine):
+//!
+//! ```
+//! use subword_isa::asm::assemble;
+//! use subword_sim::issue::{replay_order, IssueRules, SlotOp};
+//! use subword_spu::controller::StepRouting;
+//!
+//! let ops = |src: &str| -> Vec<SlotOp> {
+//!     assemble("demo", src).unwrap().instrs.iter()
+//!         .map(|i| SlotOp::new(i.clone(), StepRouting::default()))
+//!         .collect()
+//! };
+//! let rules = IssueRules::default_model();
+//!
+//! let pairable = ops("paddw mm0, mm1\npaddw mm2, mm3\n");
+//! let (cost, _, _) = replay_order(&rules, &pairable, &[0, 1], false, 1);
+//! assert_eq!((cost.pairs, cost.singles, cost.cycles), (1, 0, 1));
+//!
+//! let dependent = ops("paddw mm0, mm1\npaddw mm2, mm0\n");
+//! let (cost, _, _) = replay_order(&rules, &dependent, &[0, 1], false, 1);
+//! assert_eq!((cost.pairs, cost.singles, cost.cycles), (0, 2, 2));
+//! ```
 
 use crate::machine::MachineConfig;
 use crate::pipeline::{can_pair, effective_read_mask};

@@ -9,6 +9,9 @@
 //! cargo run --release -p subword-bench --bin sweep                  # JSON to stdout
 //! cargo run --release -p subword-bench --bin sweep -- out.json
 //! cargo run --release -p subword-bench --bin sweep -- --family pixel out.json
+//! cargo run --release -p subword-bench --bin sweep -- --cache-dir .sweep-store --cache-stats out.json
+//! cargo run --release -p subword-bench --bin sweep -- --cache-dir .sweep-store \
+//!     --check-baseline BENCH_cycles.json --diff-out diff.txt out.json
 //! cargo run --release -p subword-bench --bin sweep -- --table out.json
 //! cargo run --release -p subword-bench --bin sweep -- --check-baseline BENCH_cycles.json out.json diff.txt
 //! cargo run --release -p subword-bench --bin sweep -- --write-baseline BENCH_cycles.json out.json
@@ -20,22 +23,40 @@
 //! from an existing report file without re-running the sweep — the CI
 //! scheduling-report step uses it on the job's own sweep artifact.
 //!
-//! `--check-baseline` compares an existing report's deterministic
-//! per-block simulated cycles against the committed `BENCH_cycles.json`
-//! and exits non-zero on any regression or coverage change — the gating
-//! CI step (wall-clock MIPS stays informational; simulated cycles are
+//! `--cache-dir DIR` attaches the persistent content-addressed
+//! measurement store (DESIGN.md §13): cells whose content hash — kernel
+//! body bytes, test setup, goldens, crossbar shape, machine config,
+//! block scale, variant set, pipeline version — already has a valid
+//! entry under `DIR` are replayed from disk (flagged `"cached": true`
+//! in the report) instead of re-simulated; everything fresh is written
+//! back. `--cache-stats` prints the run's `hits`/`misses`/`invalidated`
+//! store counters on stdout (CI greps the line into the step summary).
+//!
+//! `--check-baseline` compares a report's deterministic per-block
+//! simulated cycles against the committed `BENCH_cycles.json` and exits
+//! non-zero on any regression or coverage change — the gating CI step
+//! (wall-clock MIPS stays informational; simulated cycles are
 //! bit-deterministic). The failure message keeps the two classes apart:
 //! a *cycle regression* means the code got slower, a *coverage change*
 //! means cells appeared or disappeared and the baseline needs a
-//! deliberate refresh. An optional third operand writes the full diff
-//! summary to a file (uploaded as a CI artifact). `--write-baseline`
-//! regenerates the committed file from a report.
+//! deliberate refresh. Two forms:
+//!
+//! * **offline** (flag first): `sweep --check-baseline <baseline>
+//!   <report> [diff.txt]` gates an existing report file; the optional
+//!   third operand writes the full diff summary to a file.
+//! * **composed** (flag after sweep options): `--check-baseline
+//!   <baseline>` gates the report the sweep just produced, in the same
+//!   process — with `--cache-dir`, a warm run re-simulates only changed
+//!   cells before gating. `--diff-out <file>` writes the diff summary.
+//!
+//! `--write-baseline` regenerates the committed file from a report.
 //!
 //! The process asserts the sweep's invariants before emitting anything:
 //!
-//! * chain extraction and lifting ran **exactly once per (kernel,
-//!   shape)** — every other lift request was served from the
-//!   compiled-program cache;
+//! * chain extraction and lifting ran **exactly once per freshly
+//!   simulated (kernel, shape)** — every other lift request was served
+//!   from the compiled-program cache, and store-replayed cells compile
+//!   nothing at all;
 //! * the list scheduler never *costs* cycles: on every cell, both the
 //!   scheduled MMX-only and scheduled MMX+SPU variants finish in at
 //!   most the unscheduled cycle count;
@@ -43,7 +64,8 @@
 //!   dual-issue at a strictly higher rate once scheduled.
 
 use subword_bench::baseline::CyclesBaseline;
-use subword_bench::sweep::{run_sweep, SweepConfig, SweepReport};
+use subword_bench::store::MeasurementStore;
+use subword_bench::sweep::{run_sweep_with_store, CompileCache, SweepConfig, SweepReport};
 use subword_bench::Table;
 use subword_kernels::suite::Family;
 use subword_spu::crossbar::CANONICAL_SHAPES;
@@ -94,6 +116,55 @@ fn load_report(path: &str) -> SweepReport {
     })
 }
 
+/// The cycles-baseline gate, shared by the offline and composed forms:
+/// load the committed baseline, optionally write the full diff summary,
+/// and exit non-zero on any regression or coverage change.
+/// `report_name` is only used in the refresh hint.
+fn check_baseline(
+    base_path: &str,
+    report: &SweepReport,
+    diff_path: Option<&str>,
+    report_name: &str,
+) {
+    let text = std::fs::read_to_string(base_path).unwrap_or_else(|e| {
+        eprintln!("error: read {base_path}: {e}");
+        std::process::exit(1);
+    });
+    let base = CyclesBaseline::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: parse {base_path}: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = diff_path {
+        std::fs::write(path, base.diff_summary(report)).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("cycles baseline diff written to {path}");
+    }
+    match base.check(report) {
+        Ok(summary) => {
+            println!(
+                "cycles baseline ok: {} cells match {base_path} ({} improved)",
+                summary.cells,
+                summary.improvements.len()
+            );
+            for note in &summary.improvements {
+                println!("  note: {note}");
+            }
+            if !summary.improvements.is_empty() {
+                println!(
+                    "  (baseline is stale on the cheap side — refresh with \
+                     `sweep --write-baseline {base_path} {report_name}`)"
+                );
+            }
+        }
+        Err(failure) => {
+            eprintln!("error: cycles baseline check against {base_path} failed:\n{failure}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Match one of the offline modes: `sweep <flag> <a> <b>` with the flag
 /// leading and exactly two operands — anything else (flag buried after
 /// other arguments, missing or extra operands) is a usage error rather
@@ -137,13 +208,14 @@ fn main() {
         return;
     }
 
-    // `--check-baseline <baseline> <report> [diff-out.txt]`: the
-    // deterministic cycles gate over an existing sweep artifact. The
-    // optional third operand writes the full diff summary
-    // (improvements, regressions, coverage changes — pass or fail) to a
-    // file, which CI uploads as the review artifact for baseline
-    // refreshes.
-    if args.iter().any(|a| a == "--check-baseline") {
+    // Offline `--check-baseline <baseline> <report> [diff-out.txt]`
+    // (flag **first**): the deterministic cycles gate over an existing
+    // sweep artifact. The optional third operand writes the full diff
+    // summary (improvements, regressions, coverage changes — pass or
+    // fail) to a file, which CI uploads as the review artifact for
+    // baseline refreshes. A `--check-baseline` appearing after other
+    // arguments is the composed sweep-mode form handled below.
+    if args.get(1).is_some_and(|a| a == "--check-baseline") {
         let usage = "sweep --check-baseline <BENCH_cycles.json> <report.json> [diff-out.txt]";
         let (base_path, report_path, diff_path) = match args.as_slice() {
             [_, f, a, b] if f == "--check-baseline" => (a.clone(), b.clone(), None),
@@ -153,44 +225,8 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
-            eprintln!("error: read {base_path}: {e}");
-            std::process::exit(1);
-        });
-        let base = CyclesBaseline::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("error: parse {base_path}: {e}");
-            std::process::exit(1);
-        });
         let report = load_report(&report_path);
-        if let Some(path) = &diff_path {
-            std::fs::write(path, base.diff_summary(&report)).unwrap_or_else(|e| {
-                eprintln!("error: write {path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!("cycles baseline diff written to {path}");
-        }
-        match base.check(&report) {
-            Ok(summary) => {
-                println!(
-                    "cycles baseline ok: {} cells match {base_path} ({} improved)",
-                    summary.cells,
-                    summary.improvements.len()
-                );
-                for note in &summary.improvements {
-                    println!("  note: {note}");
-                }
-                if !summary.improvements.is_empty() {
-                    println!(
-                        "  (baseline is stale on the cheap side — refresh with \
-                         `sweep --write-baseline {base_path} {report_path}`)"
-                    );
-                }
-            }
-            Err(failure) => {
-                eprintln!("error: cycles baseline check against {base_path} failed:\n{failure}");
-                std::process::exit(1);
-            }
-        }
+        check_baseline(&base_path, &report, diff_path.as_deref(), &report_path);
         return;
     }
 
@@ -211,32 +247,44 @@ fn main() {
         return;
     }
 
-    // Remaining modes run a sweep: `[--family <name>] [out.json]`.
+    // Remaining modes run a sweep: `[--family <name>] [--cache-dir DIR]
+    // [--cache-stats] [--check-baseline FILE] [--diff-out FILE]
+    // [out.json]`.
     let mut out_path: Option<String> = None;
     let mut family: Option<Family> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_stats = false;
+    let mut baseline_path: Option<String> = None;
+    let mut diff_out: Option<String> = None;
+    let sweep_usage = "usage: sweep [--family paper|pixel|all] [--cache-dir DIR] [--cache-stats] \
+                       [--check-baseline BENCH_cycles.json] [--diff-out diff.txt] [out.json]\n\
+                              sweep --table <report.json>\n\
+                              sweep --check-baseline <BENCH_cycles.json> <report.json> [diff.txt]\n\
+                              sweep --write-baseline <BENCH_cycles.json> <report.json>";
     let mut it = args.iter().skip(1);
+    let flag_value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("error: `{flag}` needs a value\n{sweep_usage}");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--family" => {
-                let name = it.next().unwrap_or_else(|| {
-                    eprintln!("usage: sweep --family paper|pixel|all [out.json]");
-                    std::process::exit(2);
-                });
+                let name = flag_value(&mut it, "--family");
                 if name != "all" {
-                    family = Some(Family::from_name(name).unwrap_or_else(|| {
+                    family = Some(Family::from_name(&name).unwrap_or_else(|| {
                         eprintln!("error: unknown family `{name}` (paper|pixel|all)");
                         std::process::exit(2);
                     }));
                 }
             }
+            "--cache-dir" => cache_dir = Some(flag_value(&mut it, "--cache-dir")),
+            "--cache-stats" => cache_stats = true,
+            "--check-baseline" => baseline_path = Some(flag_value(&mut it, "--check-baseline")),
+            "--diff-out" => diff_out = Some(flag_value(&mut it, "--diff-out")),
             other if other.starts_with('-') => {
-                eprintln!("error: unknown flag `{other}`");
-                eprintln!(
-                    "usage: sweep [--family paper|pixel|all] [out.json]\n\
-                            sweep --table <report.json>\n\
-                            sweep --check-baseline <BENCH_cycles.json> <report.json> [diff.txt]\n\
-                            sweep --write-baseline <BENCH_cycles.json> <report.json>"
-                );
+                eprintln!("error: unknown flag `{other}`\n{sweep_usage}");
                 std::process::exit(2);
             }
             other => {
@@ -247,6 +295,10 @@ fn main() {
                 out_path = Some(other.to_string());
             }
         }
+    }
+    if diff_out.is_some() && baseline_path.is_none() {
+        eprintln!("error: `--diff-out` only makes sense with `--check-baseline`\n{sweep_usage}");
+        std::process::exit(2);
     }
 
     let cfg = match family {
@@ -261,7 +313,15 @@ fn main() {
         kernels * shapes * cfg.block_scales.len(),
     );
 
-    let run = run_sweep(&cfg).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    let store = cache_dir.as_ref().map(|dir| {
+        MeasurementStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("error: open measurement store {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let compile_cache = CompileCache::new();
+    let run = run_sweep_with_store(&cfg, &compile_cache, store.as_ref())
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
     let report: &SweepReport = &run.report;
     let stats = report.cache;
     eprintln!(
@@ -273,23 +333,45 @@ fn main() {
     );
     eprintln!(
         "sweep: simulated {} instructions at {:.2} MIPS on the {:?} engine \
-         (in-simulator time, summed over workers)",
+         (in-simulator time, summed over workers; store-replayed cells excluded)",
         report.total_sim_instructions(),
         report.sim_ips() / 1e6,
         cfg.base.engine,
     );
+    if store.is_some() {
+        eprintln!(
+            "sweep: measurement store: {} replayed, {} simulated, {} invalidated",
+            run.store.hits, run.store.misses, run.store.invalidated,
+        );
+    }
+    if cache_stats {
+        // Machine-greppable (CI lifts it into the step summary).
+        println!(
+            "cache-stats: hits={} misses={} invalidated={}",
+            run.store.hits, run.store.misses, run.store.invalidated
+        );
+    }
     eprintln!("\nscheduling report (per-block, scheduled vs. unscheduled):");
     eprintln!("{}", sched_table(report));
 
-    // The whole point of the sweep layer: one compilation per (kernel,
-    // shape), everything else replayed from the cache.
+    // The whole point of the sweep layer: one compilation per freshly
+    // simulated (kernel, shape), everything else replayed from the
+    // compile cache — and store-replayed cells compile nothing, so on a
+    // fully warm store this is zero.
+    let fresh_pairs: std::collections::BTreeSet<(&str, &str)> =
+        run.measurements.iter().map(|m| (m.kernel, m.shape.name)).collect();
     assert_eq!(
         stats.misses as usize,
-        kernels * shapes,
-        "expected exactly one compilation per (kernel, shape)"
+        fresh_pairs.len(),
+        "expected exactly one compilation per freshly simulated (kernel, shape)"
     );
     assert_eq!(stats.stale_fallbacks, 0, "no artifact should go stale mid-sweep");
     assert_eq!(report.cells.len(), kernels * shapes * cfg.block_scales.len());
+    assert_eq!(
+        run.store.hits + run.store.misses,
+        if store.is_some() { report.cells.len() as u64 } else { 0 },
+        "every cell is either store-replayed or freshly simulated"
+    );
 
     // The scheduler's contract: never slower, usually better paired.
     if let Err(e) = report.check_sched_invariants() {
@@ -301,14 +383,22 @@ fn main() {
     let parsed = SweepReport::from_json(&json).expect("emitted JSON re-parses");
     assert_eq!(&parsed, report, "JSON round trip must be lossless");
 
-    match out_path {
+    match &out_path {
         Some(path) => {
-            std::fs::write(&path, json).unwrap_or_else(|e| {
+            std::fs::write(path, json).unwrap_or_else(|e| {
                 eprintln!("error: write {path}: {e}");
                 std::process::exit(1);
             });
             eprintln!("sweep: report written to {path}");
         }
         None => println!("{json}"),
+    }
+
+    // Composed gate: check the report this run just produced. With a
+    // warm `--cache-dir` only changed cells were re-simulated above, so
+    // this is the incremental form of the CI cycles gate.
+    if let Some(base_path) = &baseline_path {
+        let report_name = out_path.as_deref().unwrap_or("<report.json>");
+        check_baseline(base_path, report, diff_out.as_deref(), report_name);
     }
 }

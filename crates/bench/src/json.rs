@@ -51,6 +51,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected boolean, got {other:?}")),
+        }
+    }
+
     /// The value as `f64`.
     pub fn as_f64(&self) -> Result<f64, String> {
         match self {

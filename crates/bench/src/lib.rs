@@ -22,18 +22,24 @@
 //! All batch measurement traffic flows through the [`sweep`]
 //! orchestration layer (DESIGN.md §4): a parallel job matrix over
 //! kernel × crossbar shape × block count with a shared compiled-program
-//! cache. ([`run_entry`] remains as an uncached one-off probe.)
+//! cache. ([`run_entry`] remains as an uncached one-off probe.) On top
+//! of that sits the persistent, content-addressed [`store`] (DESIGN.md
+//! §13): with `sweep --cache-dir`, cells whose inputs are unchanged are
+//! replayed from disk instead of re-simulated.
 
 pub mod baseline;
 pub mod json;
+pub mod store;
 pub mod sweep;
 
 use subword_kernels::framework::Measurement;
 use subword_kernels::suite::SuiteEntry;
 use subword_spu::crossbar::CrossbarShape;
 
+pub use store::{cell_key, CellKey, MeasurementStore, StoreStats, PIPELINE_VERSION};
 pub use sweep::{
-    run_sweep, run_sweep_with_cache, CompileCache, SweepConfig, SweepReport, SweepRun,
+    run_sweep, run_sweep_with_cache, run_sweep_with_store, CompileCache, SweepConfig, SweepReport,
+    SweepRun,
 };
 
 /// Run the whole Figure 9 suite under one shape — a single-shape

@@ -28,13 +28,14 @@
 //!   instead of re-implementing measurement loops.
 
 use crate::json::Json;
+use crate::store::{cell_key, MeasurementStore, StoreStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use subword_compile::{analyze_with_result, CompiledKernel, TransformResult};
 use subword_isa::program::Program;
 use subword_kernels::framework::{
-    measure_with_config_opts, HostNanos, Measurement, MeasurementRecord,
+    measure_with_config_opts, Cached, HostNanos, Measurement, MeasurementRecord,
 };
 use subword_kernels::suite::{all_suites, dotprod_example, family_suite, Family, SuiteEntry};
 use subword_sim::{MachineConfig, SimStats};
@@ -300,7 +301,13 @@ impl From<&CrossbarShape> for ShapeInfo {
 /// The serializable result of one sweep: every (kernel, shape, scale)
 /// cell plus the swept geometry, the compile-cache counters, and the
 /// host-side wall clock of the whole pass.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality covers the *measured content* — shapes, scales and cells
+/// (which carry their own [`HostNanos`]/[`Cached`] exemptions) — and
+/// deliberately skips the compile-cache counters and wall clock: those
+/// describe how a particular run obtained the numbers, and a
+/// warm-store sweep must compare equal to the cold run it replays.
+#[derive(Clone, Debug)]
 pub struct SweepReport {
     /// Shapes covered.
     pub shapes: Vec<ShapeInfo>,
@@ -315,12 +322,26 @@ pub struct SweepReport {
     pub wall_nanos: HostNanos,
 }
 
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &SweepReport) -> bool {
+        self.shapes == other.shapes && self.scales == other.scales && self.cells == other.cells
+    }
+}
+
 /// The full result of [`run_sweep`].
 pub struct SweepRun {
     /// Serializable report.
     pub report: SweepReport,
-    /// In-memory measurements, same order as `report.cells`.
+    /// Freshly *simulated* measurements, in job order. Without a
+    /// measurement store this is every cell, 1:1 with `report.cells`;
+    /// under [`run_sweep_with_store`], cells replayed from the store
+    /// have no in-memory [`Measurement`] (the compile report is not
+    /// persisted) and are absent here — `report.cells` remains the
+    /// complete matrix.
     pub measurements: Vec<SweepMeasurement>,
+    /// Cross-run measurement-store counters for this run (all zero when
+    /// no store was attached).
+    pub store: StoreStats,
 }
 
 /// Execute the job matrix. See the module docs for the orchestration
@@ -345,6 +366,33 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
 /// machine-config independent). The report's [`CacheStats`] are the
 /// cache's **cumulative** counters.
 pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<SweepRun, String> {
+    run_sweep_with_store(cfg, cache, None)
+}
+
+/// One finished job: the serializable cell, plus the in-memory
+/// measurement when the cell was simulated rather than replayed.
+struct CellOutcome {
+    cell: SweepCell,
+    fresh: Option<SweepMeasurement>,
+}
+
+/// The cache-aware sweep: [`run_sweep_with_cache`] plus an optional
+/// cross-run [`MeasurementStore`].
+///
+/// With a store attached, every job first derives its content hash
+/// ([`crate::store::cell_key`] over the built kernel bodies, shape,
+/// machine config, scale and variant set, salted with
+/// [`crate::store::PIPELINE_VERSION`]) and probes the store. A valid
+/// entry is merged into the report as-is, flagged
+/// [`Cached`]`(true)` — no compilation, no simulation. Missing or
+/// invalidated (corrupt, truncated, stale-version) cells run through
+/// the normal worker-pool measurement and are written back. Store
+/// counters for the run land in [`SweepRun::store`].
+pub fn run_sweep_with_store(
+    cfg: &SweepConfig,
+    cache: &CompileCache,
+    store: Option<&MeasurementStore>,
+) -> Result<SweepRun, String> {
     if cfg.entries.is_empty() || cfg.shapes.is_empty() || cfg.block_scales.is_empty() {
         return Err("sweep config needs at least one kernel, shape and block scale".into());
     }
@@ -354,7 +402,7 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
     let wall = std::time::Instant::now();
     let jobs = cfg.jobs();
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<SweepMeasurement, String>>>> =
+    let results: Vec<Mutex<Option<Result<CellOutcome, String>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
     let workers = cfg
@@ -378,43 +426,66 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
                 // failed measurement, not the worker thread — an
                 // unwinding worker would leave every remaining slot
                 // unfilled and re-panic the scope join, poisoning the
-                // whole sweep.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    measure_with_config_opts(
-                        entry.kernel,
-                        entry.blocks_small * scale,
-                        entry.blocks_large * scale,
-                        &shape,
-                        &cfg.base,
-                        &lift,
-                        cfg.measure_scheduled,
-                    )
-                }))
+                // whole sweep. Key derivation builds the kernel, so it
+                // lives inside the guard too.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<CellOutcome, String> {
+                        let content_key = store.map(|_| {
+                            cell_key(
+                                entry.kernel,
+                                entry.blocks_small * scale,
+                                entry.blocks_large * scale,
+                                &shape,
+                                &cfg.base,
+                                scale,
+                                cfg.measure_scheduled,
+                            )
+                        });
+                        if let (Some(st), Some(k)) = (store, content_key) {
+                            if let Some(cell) = st.load(k, key, shape.name, scale) {
+                                return Ok(CellOutcome { cell, fresh: None });
+                            }
+                        }
+                        let measurement = measure_with_config_opts(
+                            entry.kernel,
+                            entry.blocks_small * scale,
+                            entry.blocks_large * scale,
+                            &shape,
+                            &cfg.base,
+                            &lift,
+                            cfg.measure_scheduled,
+                        )?;
+                        let fresh = SweepMeasurement { kernel: key, shape, scale, measurement };
+                        let cell = SweepCell {
+                            shape: shape.name.to_string(),
+                            scale,
+                            record: fresh.measurement.record(),
+                        };
+                        if let (Some(st), Some(k)) = (store, content_key) {
+                            st.save(k, &cell);
+                        }
+                        Ok(CellOutcome { cell, fresh: Some(fresh) })
+                    },
+                ))
                 .unwrap_or_else(|payload| Err(format!("panicked: {}", panic_text(&*payload))))
-                .map(|measurement| SweepMeasurement { kernel: key, shape, scale, measurement })
                 .map_err(|err| format!("{key}/shape {}: {err}", shape.name));
                 *results[i].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
     });
 
-    let mut measurements = Vec::with_capacity(jobs.len());
+    let mut measurements = Vec::new();
+    let mut cells = Vec::with_capacity(jobs.len());
     for slot in results {
         let outcome = slot
             .into_inner()
             .expect("result slot poisoned")
-            .expect("worker pool exited before finishing its jobs");
-        measurements.push(outcome?);
+            .expect("worker pool exited before finishing its jobs")?;
+        cells.push(outcome.cell);
+        if let Some(fresh) = outcome.fresh {
+            measurements.push(fresh);
+        }
     }
-
-    let cells = measurements
-        .iter()
-        .map(|m| SweepCell {
-            shape: m.shape.name.to_string(),
-            scale: m.scale,
-            record: m.measurement.record(),
-        })
-        .collect();
 
     Ok(SweepRun {
         report: SweepReport {
@@ -425,6 +496,7 @@ pub fn run_sweep_with_cache(cfg: &SweepConfig, cache: &CompileCache) -> Result<S
             wall_nanos: HostNanos(wall.elapsed().as_nanos() as u64),
         },
         measurements,
+        store: store.map_or_else(StoreStats::default, MeasurementStore::stats),
     })
 }
 
@@ -522,7 +594,7 @@ impl SweepReport {
 
     fn to_json_value(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("subword-sweep/v4".into())),
+            ("schema".into(), Json::Str("subword-sweep/v5".into())),
             ("wall_nanos".into(), Json::UInt(self.wall_nanos.0)),
             (
                 "shapes".into(),
@@ -557,7 +629,7 @@ impl SweepReport {
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
         let root = Json::parse(text)?;
         let schema = root.field("schema")?.as_str()?;
-        if schema != "subword-sweep/v4" {
+        if schema != "subword-sweep/v5" {
             return Err(format!("unsupported schema `{schema}`"));
         }
         let shapes = root
@@ -640,7 +712,7 @@ fn stats_from_json(v: &Json) -> Result<SimStats, String> {
     Ok(s)
 }
 
-fn cell_to_json(c: &SweepCell) -> Json {
+pub(crate) fn cell_to_json(c: &SweepCell) -> Json {
     let r = &c.record;
     Json::Obj(vec![
         ("kernel".into(), Json::Str(r.kernel.clone())),
@@ -665,10 +737,11 @@ fn cell_to_json(c: &SweepCell) -> Json {
         ("setup_instructions".into(), Json::UInt(r.setup_instructions)),
         ("candidates".into(), Json::UInt(r.candidates)),
         ("transformed_loops".into(), Json::UInt(r.transformed_loops)),
+        ("cached".into(), Json::Bool(r.cached.0)),
     ])
 }
 
-fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
+pub(crate) fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
     Ok(SweepCell {
         shape: v.field("shape")?.as_str()?.to_string(),
         scale: v.field("scale")?.as_u64()?,
@@ -695,6 +768,7 @@ fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
             setup_instructions: v.field("setup_instructions")?.as_u64()?,
             candidates: v.field("candidates")?.as_u64()?,
             transformed_loops: v.field("transformed_loops")?.as_u64()?,
+            cached: Cached(v.field("cached")?.as_bool()?),
         },
     })
 }

@@ -136,9 +136,22 @@ fn sweep_report_round_trips_through_json() {
         );
     }
 
+    // The schema-v5 `cached` column: a storeless sweep simulates every
+    // cell, and the flag round-trips as data (it is equality-exempt, so
+    // check the raw values by hand).
+    for c in &run.report.cells {
+        assert!(!c.record.cached.0, "{}: no store attached, nothing is cached", c.kernel());
+    }
+    for (p, c) in parsed.cells.iter().zip(&run.report.cells) {
+        assert_eq!(p.record.cached.0, c.record.cached.0);
+    }
+    let flipped = json.replace("\"cached\": false", "\"cached\": true");
+    let parsed_flipped = SweepReport::from_json(&flipped).unwrap();
+    assert!(parsed_flipped.cells.iter().all(|c| c.record.cached.0));
+
     // Corrupted documents are rejected, not mis-parsed.
     assert!(SweepReport::from_json("{}").is_err());
-    assert!(SweepReport::from_json(&json.replace("subword-sweep/v4", "v0")).is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v5", "v0")).is_err());
 }
 
 /// (e) The sweep is family-aware: per-family configs carry exactly their

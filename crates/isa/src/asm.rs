@@ -487,6 +487,37 @@ pub fn disassemble(p: &Program) -> String {
     out
 }
 
+/// Stable canonical byte form of a program, for content addressing.
+///
+/// Built from the same mnemonic/operand tables the assembler round-trips
+/// (the `prop_asm` fixpoint property), so the bytes are a pure function
+/// of the program's *content* — instruction stream, label names and
+/// positions, loop metadata — and independent of how the in-memory
+/// representation happens to be laid out or was constructed (builder API
+/// vs. text assembly). Cross-run caches (the `subword-bench` measurement
+/// store) hash these bytes to decide whether a previously measured
+/// kernel body is still the current one.
+///
+/// The disassembly text alone cannot express every loop record (see
+/// [`disassemble`] on `.trips` limits), so the full loop table is
+/// appended explicitly: two programs yield equal bytes **iff** their
+/// instructions, labels and loop metadata all agree.
+pub fn canonical_bytes(p: &Program) -> Vec<u8> {
+    let mut out = disassemble(p).into_bytes();
+    for l in &p.loops {
+        out.extend_from_slice(
+            format!(
+                ".loop {} {} {}\n",
+                l.head,
+                l.back_edge,
+                l.trip_count.map_or_else(|| "?".to_string(), |c| c.to_string())
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
 /// The label name a loop's `.trips` directive must use, if the loop is
 /// expressible: a label bound at the loop head whose *last* targeting
 /// branch is exactly the recorded back edge (that is how `assemble`

@@ -105,6 +105,27 @@ impl PartialEq for HostNanos {
 
 impl Eq for HostNanos {}
 
+/// Provenance marker on a [`MeasurementRecord`]: whether the record was
+/// loaded from a cross-run measurement store rather than simulated by
+/// this process.
+///
+/// Like [`HostNanos`] it is **equality-exempt**: record equality means
+/// "the same simulated quantities", and a warm-cache sweep must produce
+/// a report equal to a cold run's — which only its provenance flags
+/// could ever distinguish. The flag still serializes (the sweep JSON's
+/// schema-v5 `cached` column), so report consumers can tell replayed
+/// cells from freshly simulated ones.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cached(pub bool);
+
+impl PartialEq for Cached {
+    fn eq(&self, _: &Cached) -> bool {
+        true
+    }
+}
+
+impl Eq for Cached {}
+
 impl HostNanos {
     /// Simulated work per host second: `n` units over this wall time
     /// (`f64::INFINITY` for a zero reading, which only a sub-nanosecond
@@ -259,6 +280,7 @@ impl Measurement {
                 .iter()
                 .filter(|l| l.status == subword_compile::LoopStatus::Transformed)
                 .count() as u64,
+            cached: Cached(false),
         }
     }
 }
@@ -308,6 +330,9 @@ pub struct MeasurementRecord {
     pub candidates: u64,
     /// Loops actually transformed.
     pub transformed_loops: u64,
+    /// Whether this record was replayed from a cross-run measurement
+    /// store (equality-exempt provenance — see [`Cached`]).
+    pub cached: Cached,
 }
 
 impl MeasurementRecord {

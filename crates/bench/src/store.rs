@@ -20,8 +20,9 @@
 //!   ([`subword_isa::asm::canonical_bytes`] — derived from the encode
 //!   tables the assembler round-trips), plus their memory/register
 //!   initialisation and golden outputs;
-//! * the crossbar shape, the full [`MachineConfig`] (engine included),
-//!   the block scale and the variant set (`measure_scheduled`).
+//! * the crossbar shape, the full [`MachineConfig`] (engine, pipeline
+//!   model and out-of-order structure sizes included), the block scale
+//!   and the variant set (`measure_scheduled`).
 //!
 //! Entries live one-per-file as `<key>.json` and are published by
 //! atomic rename. A corrupted, truncated, foreign-schema or
@@ -50,7 +51,7 @@ use subword_spu::crossbar::CrossbarShape;
 /// store entry (their keys can no longer be derived), which is exactly
 /// the point. CI keys its persisted cache directory on this value too,
 /// so stale directories stop being restored at all.
-pub const PIPELINE_VERSION: u32 = 1;
+pub const PIPELINE_VERSION: u32 = 2;
 
 /// Incremental FNV-1a/64 hasher (vendored constants; the container has
 /// no crates.io access, and 64 bits is plenty for a cache key where a
@@ -209,6 +210,16 @@ pub fn cell_key_salted(
     h.write_u64(base.btb_entries as u64);
     h.write_str(&format!("{:?}", base.predictor_kind));
     h.write_str(&format!("{:?}", base.engine));
+    h.write_str(base.pipeline.name());
+    // The out-of-order structure sizes shift cycle counts even when the
+    // pipeline kind stays put, so they participate unconditionally (they
+    // are inert under the in-order model, but hashing them keeps the key
+    // derivation branch-free over config contents).
+    h.write_u64(base.ooo.rob_entries);
+    h.write_u64(base.ooo.rs_entries);
+    h.write_u64(base.ooo.issue_width);
+    h.write_u64(base.ooo.retire_width);
+    h.write_u64(base.ooo.store_buffer);
     CellKey(h.finish())
 }
 
@@ -270,12 +281,19 @@ impl MeasurementStore {
     }
 
     /// Look up the cell stored under `key`. The expected
-    /// (kernel, shape, scale) identity is cross-checked against the
-    /// entry's own record: a hash collision or a hand-misfiled entry is
-    /// treated exactly like corruption. Returns the record flagged
-    /// [`Cached`]`(true)`; `None` (counted as miss or invalidation)
-    /// means the caller must simulate.
-    pub fn load(&self, key: CellKey, kernel: &str, shape: &str, scale: u64) -> Option<SweepCell> {
+    /// (kernel, shape, scale, pipeline) identity is cross-checked
+    /// against the entry's own record: a hash collision or a
+    /// hand-misfiled entry is treated exactly like corruption. Returns
+    /// the record flagged [`Cached`]`(true)`; `None` (counted as miss
+    /// or invalidation) means the caller must simulate.
+    pub fn load(
+        &self,
+        key: CellKey,
+        kernel: &str,
+        shape: &str,
+        scale: u64,
+        pipeline: &str,
+    ) -> Option<SweepCell> {
         let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -284,7 +302,7 @@ impl MeasurementStore {
                 return None;
             }
         };
-        match parse_entry(&text, key, kernel, shape, scale) {
+        match parse_entry(&text, key, kernel, shape, scale, pipeline) {
             Ok(cell) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(cell)
@@ -343,6 +361,7 @@ fn parse_entry(
     kernel: &str,
     shape: &str,
     scale: u64,
+    pipeline: &str,
 ) -> Result<SweepCell, String> {
     let root = Json::parse(text)?;
     let schema = root.field("schema")?.as_str()?;
@@ -358,12 +377,17 @@ fn parse_entry(
         return Err(format!("key mismatch: entry records {stored}, expected {key}"));
     }
     let mut cell = cell_from_json(root.field("cell")?)?;
-    if cell.kernel() != kernel || cell.shape != shape || cell.scale != scale {
+    if cell.kernel() != kernel
+        || cell.shape != shape
+        || cell.scale != scale
+        || cell.pipeline != pipeline
+    {
         return Err(format!(
-            "entry is {}/shape {}/scale {}, wanted {kernel}/shape {shape}/scale {scale}",
+            "entry is {}/shape {}/scale {}/{}, wanted {kernel}/shape {shape}/scale {scale}/{pipeline}",
             cell.kernel(),
             cell.shape,
-            cell.scale
+            cell.scale,
+            cell.pipeline
         ));
     }
     cell.record.cached = Cached(true);
@@ -435,6 +459,24 @@ mod tests {
             let cfg = MachineConfig { mmx_mul_latency: 4, ..MachineConfig::default() };
             cell_key(e.kernel, e.blocks_small, e.blocks_large, &shape_a, &cfg, 1, true)
         };
+        // The pipeline-model axis must move the key: an out-of-order
+        // measurement can never be served from an in-order entry.
+        let pipeline = {
+            let cfg = MachineConfig {
+                pipeline: subword_sim::PipelineKind::OutOfOrder,
+                ..MachineConfig::default()
+            };
+            cell_key(e.kernel, e.blocks_small, e.blocks_large, &shape_a, &cfg, 1, true)
+        };
+        // …and so must the out-of-order structure sizes, even while the
+        // pipeline kind itself stays at the in-order default.
+        let rob = {
+            let cfg = MachineConfig {
+                ooo: subword_sim::OooParams { rob_entries: 48, ..Default::default() },
+                ..MachineConfig::default()
+            };
+            cell_key(e.kernel, e.blocks_small, e.blocks_large, &shape_a, &cfg, 1, true)
+        };
         let salted = cell_key_salted(
             e.kernel,
             e.blocks_small,
@@ -445,7 +487,7 @@ mod tests {
             true,
             PIPELINE_VERSION + 1,
         );
-        let keys = [base, shape, scale, variants, engine, latency, salted];
+        let keys = [base, shape, scale, variants, engine, latency, pipeline, rob, salted];
         for (i, a) in keys.iter().enumerate() {
             for (j, b) in keys.iter().enumerate() {
                 if i != j {

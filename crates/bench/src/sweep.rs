@@ -262,6 +262,10 @@ pub struct SweepCell {
     pub shape: String,
     /// Block-count scale applied.
     pub scale: u64,
+    /// Pipeline model the cell was timed on (`"in-order"` or `"ooo"`,
+    /// per [`subword_sim::PipelineKind::name`]) — cycle columns are
+    /// only comparable between cells sharing this value.
+    pub pipeline: String,
     /// The flattened measurement.
     pub record: MeasurementRecord,
 }
@@ -442,7 +446,8 @@ pub fn run_sweep_with_store(
                             )
                         });
                         if let (Some(st), Some(k)) = (store, content_key) {
-                            if let Some(cell) = st.load(k, key, shape.name, scale) {
+                            let pipeline = cfg.base.pipeline.name();
+                            if let Some(cell) = st.load(k, key, shape.name, scale, pipeline) {
                                 return Ok(CellOutcome { cell, fresh: None });
                             }
                         }
@@ -459,6 +464,7 @@ pub fn run_sweep_with_store(
                         let cell = SweepCell {
                             shape: shape.name.to_string(),
                             scale,
+                            pipeline: cfg.base.pipeline.name().to_string(),
                             record: fresh.measurement.record(),
                         };
                         if let (Some(st), Some(k)) = (store, content_key) {
@@ -547,7 +553,23 @@ impl SweepReport {
     /// `measure_scheduled` off fail the improvement half deliberately —
     /// they carry no scheduling signal to gate on. Returns a
     /// description of the first violation.
+    ///
+    /// The contract is only defined on the **in-order** pipeline model:
+    /// the scheduler's acceptance cost model statically replays in-order
+    /// issue rules (DESIGN.md §7/§14), so an out-of-order report may
+    /// legitimately show scheduled cells at equal-or-worse cycles — the
+    /// core already extracted the ILP the schedule exposes. Gating such
+    /// a report is a category error and is rejected outright.
     pub fn check_sched_invariants(&self) -> Result<(), String> {
+        if let Some(c) = self.cells.iter().find(|c| c.pipeline != "in-order") {
+            return Err(format!(
+                "{}/shape {}: measured on the `{}` pipeline model; the scheduling \
+                 contract is defined on the in-order model only",
+                c.kernel(),
+                c.shape,
+                c.pipeline
+            ));
+        }
         for c in &self.cells {
             let r = &c.record;
             if r.sched_baseline_per_block.cycles > r.baseline_per_block.cycles {
@@ -594,7 +616,7 @@ impl SweepReport {
 
     fn to_json_value(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("subword-sweep/v5".into())),
+            ("schema".into(), Json::Str("subword-sweep/v6".into())),
             ("wall_nanos".into(), Json::UInt(self.wall_nanos.0)),
             (
                 "shapes".into(),
@@ -629,7 +651,7 @@ impl SweepReport {
     pub fn from_json(text: &str) -> Result<SweepReport, String> {
         let root = Json::parse(text)?;
         let schema = root.field("schema")?.as_str()?;
-        if schema != "subword-sweep/v5" {
+        if schema != "subword-sweep/v6" {
             return Err(format!("unsupported schema `{schema}`"));
         }
         let shapes = root
@@ -719,6 +741,7 @@ pub(crate) fn cell_to_json(c: &SweepCell) -> Json {
         ("family".into(), Json::Str(r.family.name().into())),
         ("shape".into(), Json::Str(c.shape.clone())),
         ("scale".into(), Json::UInt(c.scale)),
+        ("pipeline".into(), Json::Str(c.pipeline.clone())),
         ("blocks_small".into(), Json::UInt(r.blocks.0)),
         ("blocks_large".into(), Json::UInt(r.blocks.1)),
         ("wall_nanos".into(), Json::UInt(r.wall_nanos.0)),
@@ -745,6 +768,7 @@ pub(crate) fn cell_from_json(v: &Json) -> Result<SweepCell, String> {
     Ok(SweepCell {
         shape: v.field("shape")?.as_str()?.to_string(),
         scale: v.field("scale")?.as_u64()?,
+        pipeline: v.field("pipeline")?.as_str()?.to_string(),
         record: MeasurementRecord {
             kernel: v.field("kernel")?.as_str()?.to_string(),
             family: {

@@ -158,7 +158,7 @@ fn corrupted_entries_are_resimulated_not_trusted_and_not_fatal() {
     std::fs::write(&entries[0], &text[..text.len() / 2]).unwrap(); // truncated
     std::fs::write(&entries[1], "not json at all").unwrap(); // garbage
     let text = std::fs::read_to_string(&entries[2]).unwrap();
-    let skewed = text.replace("\"pipeline_version\": 1", "\"pipeline_version\": 999");
+    let skewed = text.replace("\"pipeline_version\": 2", "\"pipeline_version\": 999");
     assert_ne!(skewed, text, "version-skew rewrite must hit");
     std::fs::write(&entries[2], skewed).unwrap(); // stale pipeline version
 

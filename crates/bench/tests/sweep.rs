@@ -149,9 +149,16 @@ fn sweep_report_round_trips_through_json() {
     let parsed_flipped = SweepReport::from_json(&flipped).unwrap();
     assert!(parsed_flipped.cells.iter().all(|c| c.record.cached.0));
 
+    // The schema-v6 `pipeline` column: a default-config sweep times
+    // every cell on the in-order model, and the column round-trips.
+    for (p, c) in parsed.cells.iter().zip(&run.report.cells) {
+        assert_eq!(c.pipeline, "in-order", "{}", c.kernel());
+        assert_eq!(p.pipeline, c.pipeline);
+    }
+
     // Corrupted documents are rejected, not mis-parsed.
     assert!(SweepReport::from_json("{}").is_err());
-    assert!(SweepReport::from_json(&json.replace("subword-sweep/v5", "v0")).is_err());
+    assert!(SweepReport::from_json(&json.replace("subword-sweep/v6", "v0")).is_err());
 }
 
 /// (e) The sweep is family-aware: per-family configs carry exactly their

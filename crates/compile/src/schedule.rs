@@ -25,6 +25,17 @@
 //! replay, [`regions_of`] *is* the region partition, and the greedy
 //! list scheduler below walks the same [`IssueRules`] forward.
 //!
+//! That replay deliberately binds the scheduler to the **in-order**
+//! pipeline model (`subword_sim::model`, DESIGN.md §14): dual-issue
+//! pairing and scoreboard stalls are in-order concepts, and the
+//! never-slower acceptance contract is asserted on that model only.
+//! Under the out-of-order model a scheduled program still executes to
+//! bit-identical architectural state (order edges are honoured by the
+//! functional executor either way), but the cycle advantage may shrink
+//! to zero — the core discovers the same ILP dynamically. Measuring
+//! that shrinkage is the point of the `--pipeline ooo` sweep axis, not
+//! something this pass tries to prevent.
+//!
 //! **Dependence edges** (from earlier instruction `a` to later `b`):
 //!
 //! * register RAW / WAR / WAW on the union of MMX and GP files, with

@@ -10,6 +10,14 @@
 //! apply: the scheduled program checks registers + memory (stats are
 //! reordered), the lifted programs check GP registers + memory only
 //! (lifting removes permutes and renames MMX registers).
+//!
+//! The suite pins the **in-order** pipeline model (the config default):
+//! expect blocks assert exact `cycles`/`pairs` values, which are
+//! definitional to the Pentium's dual-issue pipe — re-running them on
+//! the out-of-order model would fail every timing expectation by
+//! design. Cross-model agreement on architectural state is covered
+//! where it belongs: the sim differential tests and the fuzz oracle's
+//! ooo-vs-in-order comparison.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -1,18 +1,25 @@
-//! The differential oracle: one generated program, four pipeline
-//! variants, three engines, everything compared.
+//! The differential oracle: one generated program, four compile
+//! variants, three engines, two pipeline models, everything compared.
 //!
 //! ## Comparison matrix
 //!
 //! Each variant runs on all three engines ([`ExecEngine::Reference`],
 //! [`ExecEngine::Decoded`], [`ExecEngine::Threaded`]) and the three
 //! results must be **fully** bit-identical — [`SimStats`], both register
-//! files, and the data region. Across variants (Reference results):
+//! files, and the data region. Each variant then also runs on the
+//! out-of-order pipeline model ([`PipelineKind::OutOfOrder`]), which
+//! must reproduce the in-order architectural state (both register
+//! files plus memory) and every model-invariant count
+//! ([`SimStats::model_invariant_counts`]); the timing-derived fields are
+//! exempt — they are the measurement. Across variants (Reference
+//! results):
 //!
 //! | pair                        | compared                  | exempt |
 //! |-----------------------------|---------------------------|--------|
 //! | scheduled vs baseline       | registers + memory        | stats (reordering changes cycles) |
 //! | lifted vs baseline          | GP registers + memory     | MMX regs (removed permutes leave stale dests; regalloc renames), stats |
 //! | scheduled-lifted vs lifted  | registers + memory        | stats  |
+//! | ooo vs in-order (per variant) | registers + memory + counts | timing stats |
 //!
 //! Every compile step and every run is wrapped in `catch_unwind`: a
 //! panic anywhere becomes a structured [`FuzzFailure`] naming the stage
@@ -25,6 +32,7 @@ use subword_isa::program::Program;
 use subword_isa::reg::{GpReg, MmReg};
 use subword_sim::machine::{ExecEngine, Machine, MachineConfig};
 use subword_sim::stats::SimStats;
+use subword_sim::PipelineKind;
 
 use crate::gen::{build_program, FuzzCase, MEM_BASE, MEM_LEN};
 
@@ -183,7 +191,8 @@ pub fn run_case_with(case: &FuzzCase, tamper: Tamper<'_>) -> Result<CaseReport, 
         let mut states: Vec<(ExecEngine, EngineState)> = Vec::new();
         for engine in ENGINES {
             let stage = format!("run {name}/{engine:?}");
-            let run = contained(case, &stage, || run_program(prog, case, engine))?;
+            let run =
+                contained(case, &stage, || run_program(prog, case, engine, PipelineKind::InOrder))?;
             let state = run.map_err(|e| fail(FailureKind::SimError, &stage, e))?;
             if state.stats.cycles > case.static_cycle_bound() {
                 return Err(fail(
@@ -208,6 +217,26 @@ pub fn run_case_with(case: &FuzzCase, tamper: Tamper<'_>) -> Result<CaseReport, 
                 ));
             }
         }
+
+        // Pipeline-model dimension: the out-of-order core must land on
+        // the identical architectural state and model-invariant counts
+        // (timing statistics are the measurement, so they are exempt —
+        // including the static cycle bound, which is an in-order bound).
+        let stage = format!("run {name}/ooo");
+        let run = contained(case, &stage, || {
+            run_program(prog, case, ExecEngine::default(), PipelineKind::OutOfOrder)
+        })?;
+        let ooo = run.map_err(|e| fail(FailureKind::SimError, &stage, e))?;
+        if let Some(diff) =
+            diff_states(base, &ooo, false, true).or_else(|| base.stats.count_divergence(&ooo.stats))
+        {
+            return Err(fail(
+                FailureKind::Divergence,
+                &format!("compare {name}: in-order vs ooo"),
+                diff,
+            ));
+        }
+
         reference.push((name, states.swap_remove(0).1));
     }
 
@@ -264,8 +293,9 @@ fn run_program(
     program: &Program,
     case: &FuzzCase,
     engine: ExecEngine,
+    pipeline: PipelineKind,
 ) -> Result<EngineState, String> {
-    let cfg = MachineConfig { engine, ..MachineConfig::with_spu(case.crossbar()) };
+    let cfg = MachineConfig { engine, pipeline, ..MachineConfig::with_spu(case.crossbar()) };
     let mut m = Machine::new(cfg);
     for (i, v) in case.mm_init.iter().enumerate() {
         m.regs.write_mm(MmReg::from_index(i).expect("mm file has 8 registers"), *v);

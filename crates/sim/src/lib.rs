@@ -33,16 +33,21 @@
 pub mod branch;
 pub mod decode;
 pub mod error;
-pub mod issue;
 pub mod machine;
 pub mod memory;
-pub mod pipeline;
+pub mod model;
 pub mod regfile;
 pub mod stats;
 pub mod trace;
 pub mod translate;
 
+// The issue-rule and pairing modules moved under the pipeline-model
+// layer; these aliases keep the long-standing `subword_sim::issue` /
+// `subword_sim::pipeline` paths (used heavily by the compiler) valid.
+pub use model::{issue, pipeline};
+
 pub use error::SimError;
 pub use machine::{ExecEngine, Machine, MachineConfig};
 pub use memory::Memory;
+pub use model::{OooParams, OooStats, PipelineKind};
 pub use stats::SimStats;

@@ -62,6 +62,48 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// The count-type fields that must be **pipeline-model invariant**:
+    /// they describe *what* the program did (instruction classes, memory
+    /// traffic, branch outcomes, SPU activity), not *when*, so the
+    /// in-order and out-of-order models ([`crate::model`]) must agree on
+    /// them bit-for-bit. The cross-model differential tests and the fuzz
+    /// oracle compare exactly this set; the timing-derived fields
+    /// (`cycles`, `stall_cycles`, `imul_block_cycles` and the per-cycle
+    /// pairing/occupancy counters) are deliberately absent.
+    ///
+    /// `mispredict_cycles` qualifies even though it is measured in
+    /// cycles: it is penalty × mispredict count under both models.
+    pub fn model_invariant_counts(&self) -> [(&'static str, u64); 15] {
+        [
+            ("instructions", self.instructions),
+            ("mmx_instructions", self.mmx_instructions),
+            ("scalar_instructions", self.scalar_instructions),
+            ("mmx_realignments", self.mmx_realignments),
+            ("mmx_multiplies", self.mmx_multiplies),
+            ("scalar_multiplies", self.scalar_multiplies),
+            ("branches", self.branches),
+            ("mispredicts", self.mispredicts),
+            ("mispredict_cycles", self.mispredict_cycles),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("spu_routed", self.spu_routed),
+            ("spu_steps", self.spu_steps),
+            ("spu_activations", self.spu_activations),
+            ("mmio_accesses", self.mmio_accesses),
+        ]
+    }
+
+    /// First model-invariant count on which `self` and `other` disagree
+    /// — `None` when a pipeline-model change left all counts intact, as
+    /// it must.
+    pub fn count_divergence(&self, other: &SimStats) -> Option<String> {
+        self.model_invariant_counts()
+            .iter()
+            .zip(other.model_invariant_counts())
+            .find(|(a, b)| a.1 != b.1)
+            .map(|(a, b)| format!("{} differs: {} vs {}", a.0, a.1, b.1))
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -66,9 +66,11 @@
 
 use crate::decode::DecodedProgram;
 use crate::error::SimError;
-use crate::issue::{regions_of, IssueOp, IssueRules, Region, RegionKind};
-use crate::machine::{account_into, ExecEffect, Machine, StepExit};
-use crate::pipeline::{can_pair, effective_read_mask};
+use crate::machine::{ExecEffect, Machine};
+use crate::model::inorder::{account_into, StepExit};
+use crate::model::issue::{regions_of, IssueOp, IssueRules, Region, RegionKind};
+use crate::model::pipeline::{can_pair, effective_read_mask};
+use crate::model::PipelineKind;
 use crate::stats::SimStats;
 use subword_isa::instr::Instr;
 use subword_isa::program::Program;
@@ -197,6 +199,12 @@ impl Machine {
     /// dynamic events. Bit-identical to [`Machine::run_reference`] in
     /// statistics, architectural state and faults.
     pub fn run_threaded(&mut self, program: &Program) -> Result<SimStats, SimError> {
+        // Traces pre-bind *in-order* pairing and stall decisions, so
+        // they carry no meaning on the out-of-order model: fall back to
+        // the OoO path soundly instead of replaying wrong timing.
+        if self.cfg.pipeline == PipelineKind::OutOfOrder {
+            return self.run_ooo(program);
+        }
         self.begin_run();
         let decoded = DecodedProgram::decode(program);
         let mut tr = Translator::new(program);

@@ -21,7 +21,7 @@
 use subword_compile::lift_permutes;
 use subword_kernels::framework::KernelBuild;
 use subword_kernels::suite::{all_suites, dotprod_example, SuiteEntry};
-use subword_sim::{ExecEngine, Machine, MachineConfig, SimStats};
+use subword_sim::{ExecEngine, Machine, MachineConfig, PipelineKind, SimStats};
 use subword_spu::{SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D};
 
 fn full_suite() -> Vec<SuiteEntry> {
@@ -101,6 +101,113 @@ fn spu_suite_engines_agree() {
                 };
                 let label = format!("{}/{variant}-{}", e.kernel.name(), shape.name);
                 assert_engines_agree(&build, &cfg, &label);
+            }
+        }
+    }
+}
+
+/// Full architectural state after one run (cross-model comparison
+/// surface; timing statistics deliberately excluded).
+struct ArchState {
+    stats: SimStats,
+    mm: [u64; 8],
+    gp: [u32; 16],
+    mem_digest: u64,
+}
+
+/// Run one build under an explicit pipeline model and capture the full
+/// architectural state (goldens checked on the way).
+fn run_model(
+    build: &KernelBuild,
+    cfg: &MachineConfig,
+    model: PipelineKind,
+    label: &str,
+) -> ArchState {
+    let mut m = Machine::new(MachineConfig { pipeline: model, ..cfg.clone() });
+    for (addr, bytes) in &build.setup.mem_init {
+        m.mem.write_bytes(*addr, bytes).unwrap();
+    }
+    for (r, v) in &build.setup.reg_init {
+        m.regs.write_gp(*r, *v);
+    }
+    for (r, v) in &build.setup.mm_init {
+        m.regs.write_mm(*r, *v);
+    }
+    let stats = m.run(&build.program).unwrap_or_else(|e| panic!("{label}: {e}"));
+    build.check(&m, label).unwrap_or_else(|e| panic!("golden mismatch: {e}"));
+    // FNV-1a over all of memory: cheap whole-state equality without
+    // holding two 4 MiB images per comparison.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for &b in m.mem.read_bytes(0, m.mem.size()).unwrap() {
+        digest = (digest ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ArchState {
+        stats,
+        mm: std::array::from_fn(|i| {
+            m.regs.read_mm(subword_isa::reg::MmReg::from_index(i).unwrap())
+        }),
+        gp: std::array::from_fn(|i| {
+            m.regs.read_gp(subword_isa::reg::GpReg::from_index(i).unwrap())
+        }),
+        mem_digest: digest,
+    }
+}
+
+/// Architectural state and golden outputs must be bit-identical between
+/// the in-order and out-of-order pipeline models; every model-invariant
+/// count must match too. Only the timing statistics may differ.
+fn assert_models_agree(build: &KernelBuild, cfg: &MachineConfig, label: &str) {
+    let inorder = run_model(build, cfg, PipelineKind::InOrder, &format!("{label}/in-order"));
+    let ooo = run_model(build, cfg, PipelineKind::OutOfOrder, &format!("{label}/ooo"));
+    assert_eq!(inorder.mm, ooo.mm, "MMX state diverges for {label}");
+    assert_eq!(inorder.gp, ooo.gp, "GP state diverges for {label}");
+    assert_eq!(inorder.mem_digest, ooo.mem_digest, "memory diverges for {label}");
+    if let Some(diff) = inorder.stats.count_divergence(&ooo.stats) {
+        panic!("model-invariant counts diverge for {label}: {diff}");
+    }
+}
+
+/// Pipeline-model differential, MMX-only baseline: every suite kernel,
+/// emission order and list-scheduled, in-order vs out-of-order.
+#[test]
+fn baseline_suite_pipeline_models_agree() {
+    for e in full_suite() {
+        let build = e.kernel.build(e.blocks_small);
+        let cfg = MachineConfig::mmx_only();
+        assert_models_agree(&build, &cfg, &format!("{}/mmx", e.kernel.name()));
+
+        let (scheduled, _) = subword_compile::schedule_program(&build.program);
+        let sched_build = KernelBuild {
+            program: scheduled,
+            setup: build.setup.clone(),
+            expected: build.expected.clone(),
+        };
+        assert_models_agree(&sched_build, &cfg, &format!("{}/mmx-sched", e.kernel.name()));
+    }
+}
+
+/// Pipeline-model differential, SPU-lifted variants under shapes A–D:
+/// the out-of-order model must drive the SPU controller through the
+/// identical trajectory (routing happens at the functional issue, which
+/// is program order under both models).
+#[test]
+fn spu_suite_pipeline_models_agree() {
+    for shape in [SHAPE_A, SHAPE_B, SHAPE_C, SHAPE_D] {
+        for e in full_suite() {
+            let base = e.kernel.build(e.blocks_small);
+            let lifted = lift_permutes(&base.program, &shape)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.kernel.name()));
+            let cfg = MachineConfig::with_spu(shape);
+            for (program, variant) in
+                [(lifted.program, "spu"), (lifted.scheduled.program, "spu-sched")]
+            {
+                let build = KernelBuild {
+                    program,
+                    setup: base.setup.clone(),
+                    expected: base.expected.clone(),
+                };
+                let label = format!("{}/{variant}-{}", e.kernel.name(), shape.name);
+                assert_models_agree(&build, &cfg, &label);
             }
         }
     }
